@@ -1,0 +1,30 @@
+//! Fig. 9 (paper §VI-B): ablation of the fusion configurations on the
+//! flow-over-sphere workload — baseline (4b), +CA, +CA+SE, +CA+SE+SO, the
+//! paper's full configuration (4f), plus the beyond-paper fully fused one.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lbm_core::Variant;
+use lbm_gpu::{DeviceModel, Executor};
+use lbm_problems::sphere::{SphereConfig, SphereFlow};
+
+fn fig9(c: &mut Criterion) {
+    let size = SphereConfig::table1_sizes(8)[0];
+    let mut group = c.benchmark_group("fig9_fusion_ablation");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        let flow = SphereFlow::new(SphereConfig::for_size(size));
+        let mut eng = flow.engine(variant, Executor::new(DeviceModel::a100_40gb()));
+        eng.run(1);
+        group.throughput(Throughput::Elements(eng.work_per_coarse_step()));
+        group.bench_function(variant.name(), |b| b.iter(|| eng.step()));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
+    targets = fig9
+}
+criterion_main!(benches);

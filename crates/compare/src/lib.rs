@@ -1,0 +1,16 @@
+//! # lbm-compare
+//!
+//! Comparator implementations for the paper's §VI-A comparisons:
+//!
+//! - [`palabos`]: a conventional multi-pass, serial, dense-AoS CPU solver
+//!   of the same nonuniform LBM (an *independent* implementation — its
+//!   agreement with `lbm-core` cross-validates both);
+//! - [`walberla`]: the main engine configured the way the paper diagnoses
+//!   an unoptimized block-structured GPU port (2³ blocks, no fusion).
+
+#![warn(missing_docs)]
+
+pub mod palabos;
+pub mod walberla;
+
+pub use palabos::PalabosLike;

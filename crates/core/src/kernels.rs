@@ -1,0 +1,613 @@
+//! The GPU kernels of the grid-refinement algorithm (paper §III–IV), in
+//! both the separate (baseline) and fused (optimized) forms.
+//!
+//! All kernels are *pull*-based gathers over the **post-collision** buffer
+//! convention: `src()` holds post-collision populations at the level's
+//! current time; streaming writes post-streaming values into `dst`, and
+//! collision transforms `dst` in place (or fuses with the gather). The only
+//! scatter is the optimized Accumulate, which uses atomic adds into the
+//! coarse ghost layer exactly as the paper prescribes (§IV-A).
+//!
+//! Kernel launches go through the virtual GPU [`Executor`]; each declares
+//! its honest per-cell traffic so the device model can price it.
+
+use lbm_gpu::{AtomicF64Field, Executor, LaunchCost};
+use lbm_lattice::{Collision, Real, VelocitySet, MAX_Q};
+use lbm_sparse::{Field, SparseGrid};
+
+use crate::flags::{BlockFlags, CellFlags};
+use crate::level::Level;
+use crate::links::{decode_ref, BlockLinks, LinkKind, NO_TARGET};
+
+/// Value-size in bytes of the population scalar.
+fn value_bytes<T>() -> u64 {
+    std::mem::size_of::<T>() as u64
+}
+
+/// Read-only views of one level needed by the streaming-family kernels.
+#[derive(Copy, Clone)]
+pub struct StreamInputs<'a, T> {
+    /// Level topology.
+    pub grid: &'a SparseGrid,
+    /// Per-cell flags.
+    pub flags: &'a Field<u8>,
+    /// Per-block summaries.
+    pub block_flags: &'a [crate::flags::BlockFlags],
+    /// Per-block link tables.
+    pub links: &'a [BlockLinks<T>],
+    /// Own-level post-collision populations (gather source).
+    pub src: &'a Field<T>,
+    /// Own-level ghost accumulators (Coalescence source).
+    pub acc: &'a AtomicF64Field,
+    /// Next-coarser level's post-collision populations (Explosion source);
+    /// `None` on level 0.
+    pub coarse_src: Option<&'a Field<T>>,
+    /// The coarse level's *previous* post-collision populations (the idle
+    /// half of its double buffer). Used by the linear-time-interpolation
+    /// extension; `None` disables it.
+    pub coarse_prev: Option<&'a Field<T>>,
+    /// Temporal extrapolation weight for Explosion reads: the fine substep
+    /// at `t + Δt_c/2` uses `(1+b)·f(t) − b·f(t−Δt_c)` with `b = 0.5`;
+    /// `b = 0` reproduces the paper's zeroth-order hold.
+    pub explosion_blend: f64,
+}
+
+impl<'a, T: Real> StreamInputs<'a, T> {
+    /// Builds the view pair for level `l` of a level stack: the level's own
+    /// inputs plus the coarser level's populations (zeroth-order hold).
+    pub fn for_level(levels: &'a [Level<T>], l: usize) -> Self {
+        let level = &levels[l];
+        Self {
+            grid: &level.grid,
+            flags: &level.flags,
+            block_flags: &level.block_flags,
+            links: &level.links,
+            src: level.f.src(),
+            acc: &level.acc,
+            coarse_src: if l > 0 {
+                Some(levels[l - 1].f.src())
+            } else {
+                None
+            },
+            coarse_prev: None,
+            explosion_blend: 0.0,
+        }
+    }
+}
+
+/// Accumulate tables of a (fine) level: the next-coarser level's ghost
+/// accumulators plus the per-cell parent targets and crossing-direction
+/// masks computed at grid construction.
+#[derive(Copy, Clone)]
+pub struct AccTables<'a> {
+    /// Coarse-level ghost accumulators (atomic add targets).
+    pub acc: &'a AtomicF64Field,
+    /// Per-block, per-cell encoded parent [`lbm_sparse::CellRef`]s.
+    pub targets: &'a [Option<Box<[u64]>>],
+    /// Per-block, per-cell crossing-direction bitmasks.
+    pub dirs: &'a [Option<Box<[u32]>>],
+}
+
+impl AccTables<'_> {
+    /// Adds the crossing populations of one cell (read from `src`, the
+    /// pre-streaming post-collision buffer) into its parent ghost.
+    ///
+    /// Timing matters: the populations that cross the interface during a
+    /// fine substep are the post-collision values *being streamed*, i.e.
+    /// the substep's source buffer — accumulating the freshly collided
+    /// output instead would lag the coarse Coalescence by one substep and
+    /// break exact interface conservation.
+    #[inline(always)]
+    pub fn scatter_from<T: Real>(&self, src: &Field<T>, block: u32, cell: u32) {
+        let (Some(tt), Some(dd)) = (
+            self.targets[block as usize].as_deref(),
+            self.dirs[block as usize].as_deref(),
+        ) else {
+            return;
+        };
+        let mut mask = dd[cell as usize];
+        if mask == 0 {
+            return;
+        }
+        debug_assert_ne!(tt[cell as usize], NO_TARGET);
+        let parent = decode_ref(tt[cell as usize]);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.acc
+                .add(parent.block, i, parent.cell, src.get(block, i, cell).to_f64());
+        }
+    }
+}
+
+/// Which link families the streaming kernel resolves inline. The families
+/// it does *not* handle are left for the separate Explosion / Coalescence
+/// kernels of the unfused variants (Fig. 4b/4c).
+#[derive(Copy, Clone, Debug)]
+pub struct StreamOptions {
+    /// Resolve Explosion links inline (fused SE, Fig. 4d).
+    pub explosion: bool,
+    /// Resolve Coalescence links inline (fused SO, Fig. 4e).
+    pub coalesce: bool,
+}
+
+/// Per-block gather context: resolves same-level pull sources with pure
+/// integer adds and compares (no divisions, no `Coord` arithmetic),
+/// reading through the raw AoSoA slice. This is the hot path of every
+/// streaming-family kernel.
+struct BlockGather<'a, T> {
+    src_all: &'a [T],
+    block_base: usize,
+    stride: usize,
+    cpb: usize,
+    bsz: i32,
+    neighbors: &'a [lbm_sparse::BlockIdx; lbm_sparse::grid::NEIGHBOR_SLOTS],
+}
+
+impl<'a, T: Real> BlockGather<'a, T> {
+    #[inline(always)]
+    fn new(grid: &'a SparseGrid, src: &'a Field<T>, b: u32) -> Self {
+        let stride = src.block_stride();
+        Self {
+            src_all: src.as_slice(),
+            block_base: b as usize * stride,
+            stride,
+            cpb: src.cells_per_block(),
+            bsz: grid.block_size() as i32,
+            neighbors: &grid.block(b).neighbors,
+        }
+    }
+
+    /// Pulls direction `i` for the cell at local coords `(lx, ly, lz)`:
+    /// reads `src[x − e_i][i]`, following the precomputed neighbor-block
+    /// table when the source leaves the block. The grid construction
+    /// guarantees the source block exists for every non-linked direction.
+    #[inline(always)]
+    fn pull(&self, lx: i32, ly: i32, lz: i32, i: usize, c: [i32; 3]) -> T {
+        let b = self.bsz;
+        let sx = lx - c[0];
+        let sy = ly - c[1];
+        let sz = lz - c[2];
+        let (ox, wx) = if sx < 0 {
+            (-1, sx + b)
+        } else if sx >= b {
+            (1, sx - b)
+        } else {
+            (0, sx)
+        };
+        let (oy, wy) = if sy < 0 {
+            (-1, sy + b)
+        } else if sy >= b {
+            (1, sy - b)
+        } else {
+            (0, sy)
+        };
+        let (oz, wz) = if sz < 0 {
+            (-1, sz + b)
+        } else if sz >= b {
+            (1, sz - b)
+        } else {
+            (0, sz)
+        };
+        let scell = (wx + b * (wy + b * wz)) as usize;
+        let base = if ox == 0 && oy == 0 && oz == 0 {
+            self.block_base
+        } else {
+            let slot = ((ox + 1) + 3 * (oy + 1) + 9 * (oz + 1)) as usize;
+            let nb = self.neighbors[slot];
+            debug_assert_ne!(nb, lbm_sparse::INVALID_BLOCK, "gather into missing block");
+            nb as usize * self.stride
+        };
+        self.src_all[base + i * self.cpb + scell]
+    }
+}
+
+#[inline(always)]
+fn resolve_link<T: Real>(
+    kind: &LinkKind<T>,
+    inp: &StreamInputs<'_, T>,
+    block: u32,
+    cell: u32,
+    dir: usize,
+) -> T {
+    let src = inp.src;
+    match *kind {
+        LinkKind::BounceBack { opp } => src.get(block, opp as usize, cell),
+        LinkKind::MovingWall { opp, term } => src.get(block, opp as usize, cell) + term,
+        LinkKind::Outflow { weight } => weight,
+        LinkKind::Periodic { src: s } => src.get(s.block, dir, s.cell),
+        LinkKind::Explosion { src: s } => {
+            let now = inp
+                .coarse_src
+                .expect("explosion link on level 0")
+                .get(s.block, dir, s.cell);
+            match inp.coarse_prev {
+                // Linear-time-interpolation extension: extrapolate the
+                // coarse source to the fine substep's time.
+                Some(prev) if inp.explosion_blend != 0.0 => {
+                    let b = T::from_f64(inp.explosion_blend);
+                    now + b * (now - prev.get(s.block, dir, s.cell))
+                }
+                _ => now,
+            }
+        }
+        LinkKind::Coalesce { src: s, inv_count } => {
+            T::from_f64(acc_load(inp.acc, s.block, dir, s.cell)) * inv_count
+        }
+    }
+}
+
+#[inline(always)]
+fn acc_load(acc: &AtomicF64Field, block: u32, dir: usize, cell: u32) -> f64 {
+    acc.load(block, dir, cell)
+}
+
+/// Streaming kernel (paper "S"): `dst[x][i] = src[x − e_i][i]` with link
+/// resolution per [`StreamOptions`]. Ghost cells are skipped. Directions
+/// whose links are excluded by the options are left untouched in `dst` (the
+/// separate kernel fills them).
+#[allow(clippy::too_many_arguments)]
+pub fn stream<T: Real, V: VelocitySet>(
+    exec: &Executor,
+    name: &'static str,
+    inp: StreamInputs<'_, T>,
+    dst: &mut Field<T>,
+    opts: StreamOptions,
+    accumulate: Option<AccTables<'_>>,
+    real_cells: u64,
+) {
+    let q = V::Q;
+    let cpb = inp.grid.cells_per_block();
+    let stride = dst.block_stride();
+    // Traffic: q loads (neighbors) + q stores per real cell.
+    let cost = LaunchCost::per_cell(real_cells, q as u64, q as u64, 0, value_bytes::<T>())
+        .with_thread_block(cpb);
+    let grid = inp.grid;
+    exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
+        let g = BlockGather::new(grid, inp.src, b);
+        let bsz = grid.block_size() as i32;
+        let fast = inp.block_flags[b as usize].has(BlockFlags::FULLY_INTERIOR);
+        if fast {
+            let mut cell = 0usize;
+            for lz in 0..bsz {
+                for ly in 0..bsz {
+                    for lx in 0..bsz {
+                        out[cell] = g.src_all[g.block_base + cell]; // rest
+                        for i in 1..q {
+                            out[i * cpb + cell] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                        }
+                        cell += 1;
+                    }
+                }
+            }
+            return;
+        }
+        let blk = grid.block(b);
+        let links = &inp.links[b as usize];
+        let flags = inp.flags.component(b, 0);
+        let tables = accumulate.filter(|t| t.targets[b as usize].is_some());
+        let mut cell = 0usize;
+        for lz in 0..bsz {
+            for ly in 0..bsz {
+                for lx in 0..bsz {
+                    let cf = CellFlags(flags[cell]);
+                    if !blk.active.get(cell) || !cf.is_real() {
+                        cell += 1;
+                        continue;
+                    }
+                    if let Some(t) = &tables {
+                        if cf.accumulates() {
+                            t.scatter_from(inp.src, b, cell as u32);
+                        }
+                    }
+                    out[cell] = g.src_all[g.block_base + cell]; // rest
+                    match links.of(cell as u32) {
+                        None => {
+                            for i in 1..q {
+                                out[i * cpb + cell] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                            }
+                        }
+                        Some(set) => {
+                            let mut li = 0usize;
+                            for i in 1..q {
+                                let linked =
+                                    li < set.links.len() && set.links[li].dir as usize == i;
+                                if linked {
+                                    let kind = &set.links[li].kind;
+                                    li += 1;
+                                    let handled = match kind {
+                                        LinkKind::Explosion { .. } => opts.explosion,
+                                        LinkKind::Coalesce { .. } => opts.coalesce,
+                                        _ => true, // boundaries always resolve in S
+                                    };
+                                    if handled {
+                                        out[i * cpb + cell] =
+                                            resolve_link(kind, &inp, b, cell as u32, i);
+                                    }
+                                } else {
+                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                                }
+                            }
+                        }
+                    }
+                    cell += 1;
+                }
+            }
+        }
+    });
+}
+
+/// Direction components of `e_i` as a plain array (constant-folded after
+/// loop unrolling).
+#[inline(always)]
+fn dir_c<V: VelocitySet>(i: usize) -> [i32; 3] {
+    V::C[i]
+}
+
+/// Separate Explosion kernel (paper "E", baseline variants): fills the
+/// directions skipped by [`stream`] with `opts.explosion == false`.
+pub fn explosion<T: Real, V: VelocitySet>(
+    exec: &Executor,
+    name: &'static str,
+    inp: StreamInputs<'_, T>,
+    dst: &mut Field<T>,
+    interface_cells: u64,
+) {
+    let q = V::Q;
+    let cpb = inp.grid.cells_per_block();
+    let stride = dst.block_stride();
+    assert!(
+        inp.coarse_src.is_some(),
+        "explosion kernel launched on level 0"
+    );
+    // Traffic: touching only interface links, but the launch still scans
+    // block metadata — the paper's point about unfused kernels.
+    let cost = LaunchCost::per_cell(interface_cells, q as u64, q as u64, 0, value_bytes::<T>())
+        .with_thread_block(cpb);
+    exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
+        let links = &inp.links[b as usize];
+        for set in &links.cells {
+            for l in &set.links {
+                if matches!(l.kind, LinkKind::Explosion { .. }) {
+                    out[l.dir as usize * cpb + set.cell as usize] =
+                        resolve_link(&l.kind, &inp, b, set.cell, l.dir as usize);
+                }
+            }
+        }
+    });
+}
+
+/// Separate Coalescence kernel (paper "O", baseline variants): fills the
+/// directions skipped by [`stream`] with `opts.coalesce == false` from the
+/// ghost accumulators.
+pub fn coalesce<T: Real, V: VelocitySet>(
+    exec: &Executor,
+    name: &'static str,
+    inp: StreamInputs<'_, T>,
+    dst: &mut Field<T>,
+    interface_cells: u64,
+) {
+    let q = V::Q;
+    let cpb = inp.grid.cells_per_block();
+    let stride = dst.block_stride();
+    let cost = LaunchCost::per_cell(interface_cells, q as u64, q as u64, 0, value_bytes::<T>())
+        .with_thread_block(cpb);
+    exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
+        let links = &inp.links[b as usize];
+        for set in &links.cells {
+            for l in &set.links {
+                if let LinkKind::Coalesce { src, inv_count } = l.kind {
+                    out[l.dir as usize * cpb + set.cell as usize] =
+                        T::from_f64(inp.acc.load(src.block, l.dir as usize, src.cell)) * inv_count;
+                }
+            }
+        }
+    });
+}
+
+/// Collision kernel (paper "C"): in-place BGK/KBC on the post-streaming
+/// buffer. With `accumulate` set, fuses the optimized Accumulate step
+/// (Fig. 4c): interface cells atomically add their fresh post-collision
+/// populations into the parent coarse ghost cell straight from registers.
+#[allow(clippy::too_many_arguments)]
+pub fn collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
+    exec: &Executor,
+    name: &'static str,
+    grid: &SparseGrid,
+    flags: &Field<u8>,
+    block_flags: &[crate::flags::BlockFlags],
+    op: &C,
+    dst: &mut Field<T>,
+    real_cells: u64,
+) {
+    let q = V::Q;
+    let cpb = grid.cells_per_block();
+    let stride = dst.block_stride();
+    // Traffic: q loads + q stores per real cell.
+    let cost = LaunchCost::per_cell(real_cells, q as u64, q as u64, 0, value_bytes::<T>())
+        .with_thread_block(cpb);
+    let _ = block_flags;
+    exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
+        let blk = grid.block(b);
+        for cell in blk.active.iter_set() {
+            let cell = cell as u32;
+            let cf = CellFlags(flags.get(b, 0, cell));
+            if !cf.is_real() {
+                continue;
+            }
+            let mut f = [T::ZERO; MAX_Q];
+            for i in 0..q {
+                f[i] = out[i * cpb + cell as usize];
+            }
+            op.collide(&mut f);
+            for i in 0..q {
+                out[i * cpb + cell as usize] = f[i];
+            }
+        }
+    });
+}
+
+/// Standalone scatter Accumulate (paper "A", optimized but unfused form):
+/// adds post-collision populations of interface fine cells into the parent
+/// coarse ghost accumulators with atomics.
+pub fn accumulate_scatter<T: Real, V: VelocitySet>(
+    exec: &Executor,
+    name: &'static str,
+    grid: &SparseGrid,
+    flags: &Field<u8>,
+    tables: AccTables<'_>,
+    src: &Field<T>,
+    interface_cells: u64,
+) {
+    let q = V::Q;
+    let cost = LaunchCost::per_cell(interface_cells, q as u64, 0, q as u64, value_bytes::<T>())
+        .with_thread_block(grid.cells_per_block());
+    exec.launch(name, grid.num_blocks(), cost, |b| {
+        if tables.targets[b as usize].is_none() {
+            return;
+        }
+        let blk = grid.block(b);
+        for cell in blk.active.iter_set() {
+            let cell = cell as u32;
+            if !CellFlags(flags.get(b, 0, cell)).accumulates() {
+                continue;
+            }
+            tables.scatter_from(src, b, cell);
+        }
+    });
+}
+
+/// Gather Accumulate (paper "A" of the *modified baseline*, Fig. 4b /
+/// §VI-B: "the Accumulate communication is initiated from the coarse
+/// level"): each coarse ghost cell reads its 2³ fine children and adds them
+/// into its accumulator — no atomics needed.
+pub fn accumulate_gather<T: Real, V: VelocitySet>(
+    exec: &Executor,
+    name: &'static str,
+    coarse_grid: &SparseGrid,
+    gather: &[Vec<crate::level::GatherEntry>],
+    own_acc: &AtomicF64Field,
+    fine_src: &Field<T>,
+    ghost_cells: u64,
+) {
+    let q = V::Q;
+    // 8 child loads per ghost per component + 1 store.
+    let cost = LaunchCost::per_cell(ghost_cells, 8 * q as u64, q as u64, 0, value_bytes::<T>())
+        .with_thread_block(coarse_grid.cells_per_block());
+    exec.launch(name, coarse_grid.num_blocks(), cost, |b| {
+        for e in &gather[b as usize] {
+            for i in 0..q {
+                let mut sum = 0.0;
+                let mut any = false;
+                for (k, &enc) in e.children.iter().enumerate() {
+                    if (e.masks[k] >> i) & 1 == 1 {
+                        let child = decode_ref(enc);
+                        sum += fine_src.get(child.block, i, child.cell).to_f64();
+                        any = true;
+                    }
+                }
+                if any {
+                    let cur = own_acc.load(b, i, e.ghost_cell);
+                    own_acc.store(b, i, e.ghost_cell, cur + sum);
+                }
+            }
+        }
+    });
+}
+
+/// The fully fused kernel of Fig. 4f ("CASE"): streaming gather (with
+/// Explosion and Coalescence inline), collision, and Accumulate, in one
+/// pass with populations held in registers throughout.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
+    exec: &Executor,
+    name: &'static str,
+    inp: StreamInputs<'_, T>,
+    op: &C,
+    dst: &mut Field<T>,
+    accumulate: Option<AccTables<'_>>,
+    real_cells: u64,
+) {
+    let q = V::Q;
+    let cpb = inp.grid.cells_per_block();
+    let stride = dst.block_stride();
+    let cost = LaunchCost::per_cell(real_cells, q as u64, q as u64, 0, value_bytes::<T>())
+        .with_thread_block(cpb);
+    let grid = inp.grid;
+    exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
+        let blk = grid.block(b);
+        let g = BlockGather::new(grid, inp.src, b);
+        let bsz = grid.block_size() as i32;
+        let fast = inp.block_flags[b as usize].has(BlockFlags::FULLY_INTERIOR);
+        let links = &inp.links[b as usize];
+        let flags = inp.flags.component(b, 0);
+        let tables = accumulate.filter(|t| t.targets[b as usize].is_some());
+        let mut cell = 0usize;
+        for lz in 0..bsz {
+            for ly in 0..bsz {
+                for lx in 0..bsz {
+                    let cf = CellFlags(flags[cell]);
+                    if !fast && (!blk.active.get(cell) || !cf.is_real()) {
+                        cell += 1;
+                        continue;
+                    }
+                    if let Some(t) = &tables {
+                        if cf.accumulates() {
+                            t.scatter_from(inp.src, b, cell as u32);
+                        }
+                    }
+                    let mut f = [T::ZERO; MAX_Q];
+                    f[0] = g.src_all[g.block_base + cell];
+                    match links.of(cell as u32) {
+                        None => {
+                            for i in 1..q {
+                                f[i] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                            }
+                        }
+                        Some(set) => {
+                            let mut li = 0usize;
+                            for i in 1..q {
+                                if li < set.links.len() && set.links[li].dir as usize == i {
+                                    let kind = &set.links[li].kind;
+                                    li += 1;
+                                    f[i] = resolve_link(kind, &inp, b, cell as u32, i);
+                                } else {
+                                    f[i] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                                }
+                            }
+                        }
+                    }
+                    op.collide(&mut f);
+                    for i in 0..q {
+                        out[i * cpb + cell] = f[i];
+                    }
+                    cell += 1;
+                }
+            }
+        }
+    });
+}
+
+/// Resets the ghost accumulators of a level after Coalescence consumed them
+/// (paper §IV-A: "when the coarse cell performs its Coalescence step, it
+/// will reset the ghost layer allowing subsequent Accumulate steps to be
+/// done correctly"). Only ghost slots (via the gather lists) are touched.
+pub fn reset_accumulators(
+    exec: &Executor,
+    name: &'static str,
+    coarse_grid: &SparseGrid,
+    gather: &[Vec<crate::level::GatherEntry>],
+    acc: &AtomicF64Field,
+    ghost_cells: u64,
+    q: usize,
+) {
+    let cost = LaunchCost::per_cell(ghost_cells, 0, q as u64, 0, 8)
+        .with_thread_block(coarse_grid.cells_per_block());
+    exec.launch(name, coarse_grid.num_blocks(), cost, |b| {
+        for e in &gather[b as usize] {
+            for i in 0..q {
+                acc.store(b, i, e.ghost_cell, 0.0);
+            }
+        }
+    });
+}

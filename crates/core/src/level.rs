@@ -1,0 +1,117 @@
+//! One resolution level of the multi-resolution grid: a block-sparse grid
+//! plus populations, ghost accumulators, flags and precomputed link tables
+//! (paper §V-B: "we implement our grid refinement data structure by stacking
+//! `L_max` block sparse data structures", extended with the indices needed
+//! to reach interface cells at other resolutions).
+
+use lbm_gpu::AtomicF64Field;
+use lbm_lattice::Real;
+use lbm_sparse::{BlockIdx, CellRef, Coord, DoubleBuffer, Field, SparseGrid};
+
+use crate::flags::{BlockFlags, CellFlags};
+use crate::links::BlockLinks;
+
+/// One ghost cell's fine children, for the gather-style Accumulate of the
+/// modified baseline (paper §VI-B: "the Accumulate communication is
+/// initiated from the coarse level").
+#[derive(Copy, Clone, Debug)]
+pub struct GatherEntry {
+    /// Ghost cell (intra-block index) in the coarse block this entry
+    /// belongs to.
+    pub ghost_cell: u32,
+    /// The 2³ children in the next-finer grid, encoded with
+    /// [`crate::links::encode_ref`].
+    pub children: [u64; 8],
+    /// Per-child bitmask of crossing directions: bit `i` set means the
+    /// child's `e_i` population leaves the fine region (and must be
+    /// accumulated for Coalescence along `i`).
+    pub masks: [u32; 8],
+}
+
+/// One level of the multi-resolution stack.
+pub struct Level<T> {
+    /// Block-sparse topology (real + ghost cells).
+    pub grid: SparseGrid,
+    /// Per-cell [`CellFlags`] bits.
+    pub flags: Field<u8>,
+    /// Per-block fast-path summary.
+    pub block_flags: Vec<BlockFlags>,
+    /// Per-block exception link tables.
+    pub links: Vec<BlockLinks<T>>,
+    /// Per-block Accumulate targets: for each cell slot, the encoded
+    /// [`CellRef`] of its parent ghost cell in the next-coarser grid, or
+    /// [`crate::links::NO_TARGET`]. `None` for blocks with no accumulating
+    /// cells.
+    pub acc_target: Vec<Option<Box<[u64]>>>,
+    /// Per-block Accumulate direction masks, parallel to
+    /// [`Level::acc_target`]: bit `i` set means the cell's `e_i`
+    /// population crosses the interface and is accumulated.
+    pub acc_dirs: Vec<Option<Box<[u32]>>>,
+    /// Per-block gather entries (this level being the coarse side).
+    pub gather: Vec<Vec<GatherEntry>>,
+    /// Double-buffered populations, **post-collision convention**: `src()`
+    /// holds post-collision values of the level's current time.
+    pub f: DoubleBuffer<T>,
+    /// Ghost accumulators (one slot per cell slot; only ghost cells used).
+    pub acc: AtomicF64Field,
+    /// Relaxation rate ω_L of this level (paper Eq. 9).
+    pub omega: f64,
+    /// Number of real (evolving) cells — the `V_L` of the MLUPS formula
+    /// (ghost cells excluded, paper §VI).
+    pub real_cells: usize,
+    /// Number of ghost accumulator cells.
+    pub ghost_cells: usize,
+}
+
+impl<T: Real> Level<T> {
+    /// Cell flags of one cell.
+    #[inline(always)]
+    pub fn cell_flags(&self, r: CellRef) -> CellFlags {
+        CellFlags(self.flags.get(r.block, 0, r.cell))
+    }
+
+    /// Iterates `(CellRef, Coord)` over real cells only.
+    pub fn iter_real(&self) -> impl Iterator<Item = (CellRef, Coord)> + '_ {
+        self.grid
+            .iter_active()
+            .filter(|(r, _)| self.cell_flags(*r).is_real())
+    }
+
+    /// Iterates `(CellRef, Coord)` over ghost cells only.
+    pub fn iter_ghost(&self) -> impl Iterator<Item = (CellRef, Coord)> + '_ {
+        self.grid
+            .iter_active()
+            .filter(|(r, _)| self.cell_flags(*r).is_ghost())
+    }
+
+    /// Heap bytes of the population buffers.
+    pub fn population_bytes(&self) -> usize {
+        self.f.heap_bytes()
+    }
+
+    /// Heap bytes of the ghost accumulators actually required (ghost cells
+    /// × components × 8 bytes — the quantity compared against the baseline's
+    /// fine ghost layers in the paper's "1/3" claim).
+    pub fn ghost_bytes_required(&self) -> usize {
+        self.ghost_cells * self.acc.q() * 8
+    }
+
+    /// Sum of link-table entries over all blocks (diagnostics).
+    pub fn link_count(&self) -> usize {
+        self.links.iter().map(|b| b.link_count()).sum()
+    }
+
+    /// Number of accumulating (interface fine) cells.
+    pub fn accumulator_cells(&self) -> usize {
+        self.grid
+            .iter_active()
+            .filter(|(r, _)| self.cell_flags(*r).accumulates())
+            .count()
+    }
+
+    /// True if `block` may take the branch-free interior fast path.
+    #[inline(always)]
+    pub fn block_fully_interior(&self, block: BlockIdx) -> bool {
+        self.block_flags[block as usize].has(BlockFlags::FULLY_INTERIOR)
+    }
+}

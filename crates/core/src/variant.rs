@@ -1,0 +1,163 @@
+//! The execution variants compared in the paper (Fig. 4, Fig. 9, Table I).
+//!
+//! All variants compute the *same* physics (enforced by equivalence tests);
+//! they differ only in how the per-step work is cut into GPU kernels:
+//!
+//! | Variant | Paper figure | Fusions |
+//! |---|---|---|
+//! | `ModifiedBaseline` | 4b | none (separate C, E, S, O; gather Accumulate) |
+//! | `FusedCa` | 4c | Collision+Accumulate (atomic scatter) |
+//! | `FusedCaSe` | 4d | + Streaming+Explosion |
+//! | `FusedCaSeSo` | 4e | + Streaming+Coalescence |
+//! | `FusedAll` | 4f | + finest-level Collision+Accumulate+Streaming+Explosion in one kernel |
+//! | `FullyFused` | beyond paper | the Fig.-4f single kernel on *every* level |
+//!
+//! `FullyFused` is an extension the paper's restructured data flow makes
+//! possible (our step ordering runs fine levels before the coarse
+//! streaming, so nothing forces a separate coarse Collision); it is
+//! benchmarked as an ablation beyond Fig. 9.
+
+/// Orthogonal fusion switches (Fig. 4c–4f).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Fuse Accumulate into Collision as an atomic scatter (Fig. 4c). When
+    /// false, Accumulate runs as the modified baseline's coarse-initiated
+    /// gather kernel (Fig. 4b).
+    pub collide_accumulate: bool,
+    /// Resolve Explosion inside the Streaming kernel (Fig. 4d). When false,
+    /// a separate Explosion kernel fills the cross-level directions.
+    pub stream_explosion: bool,
+    /// Resolve Coalescence inside the Streaming kernel (Fig. 4e). When
+    /// false, a separate Coalescence kernel fills those directions.
+    pub stream_coalesce: bool,
+    /// Fuse Collision(+Accumulate) with Streaming(+Explosion) into a single
+    /// kernel on the finest level (Fig. 4f).
+    pub finest_collide_stream: bool,
+    /// Apply the single fused kernel on every level (beyond the paper).
+    pub all_collide_stream: bool,
+}
+
+/// Named variants matching the paper's ablation (Fig. 9) plus the
+/// beyond-paper fully fused configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Fig. 4b — the paper's Table-I baseline.
+    ModifiedBaseline,
+    /// Fig. 4c.
+    FusedCa,
+    /// Fig. 4d (cumulative: CA + SE).
+    FusedCaSe,
+    /// Fig. 4e (cumulative: CA + SE + SO).
+    FusedCaSeSo,
+    /// Fig. 4f — the paper's most optimized configuration ("Ours").
+    FusedAll,
+    /// Beyond the paper: the fused kernel on every level.
+    FullyFused,
+}
+
+impl Variant {
+    /// The fusion switches of this variant.
+    pub fn config(self) -> FusionConfig {
+        match self {
+            Variant::ModifiedBaseline => FusionConfig::default(),
+            Variant::FusedCa => FusionConfig {
+                collide_accumulate: true,
+                ..FusionConfig::default()
+            },
+            Variant::FusedCaSe => FusionConfig {
+                collide_accumulate: true,
+                stream_explosion: true,
+                ..FusionConfig::default()
+            },
+            Variant::FusedCaSeSo => FusionConfig {
+                collide_accumulate: true,
+                stream_explosion: true,
+                stream_coalesce: true,
+                ..FusionConfig::default()
+            },
+            Variant::FusedAll => FusionConfig {
+                collide_accumulate: true,
+                stream_explosion: true,
+                stream_coalesce: true,
+                finest_collide_stream: true,
+                all_collide_stream: false,
+            },
+            Variant::FullyFused => FusionConfig {
+                collide_accumulate: true,
+                stream_explosion: true,
+                stream_coalesce: true,
+                finest_collide_stream: true,
+                all_collide_stream: true,
+            },
+        }
+    }
+
+    /// Display name used in reports (paper nomenclature).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::ModifiedBaseline => "baseline (4b)",
+            Variant::FusedCa => "+CA (4c)",
+            Variant::FusedCaSe => "+CA+SE (4d)",
+            Variant::FusedCaSeSo => "+CA+SE+SO (4e)",
+            Variant::FusedAll => "ours (4f)",
+            Variant::FullyFused => "fully fused (ext)",
+        }
+    }
+
+    /// The paper's ablation order (Fig. 9), baseline first.
+    pub const FIG9: [Variant; 5] = [
+        Variant::ModifiedBaseline,
+        Variant::FusedCa,
+        Variant::FusedCaSe,
+        Variant::FusedCaSeSo,
+        Variant::FusedAll,
+    ];
+
+    /// Every variant including the beyond-paper extension.
+    pub const ALL: [Variant; 6] = [
+        Variant::ModifiedBaseline,
+        Variant::FusedCa,
+        Variant::FusedCaSe,
+        Variant::FusedCaSeSo,
+        Variant::FusedAll,
+        Variant::FullyFused,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_cumulative() {
+        // Each Fig. 9 step only adds fusions, never removes them.
+        let score = |c: FusionConfig| {
+            c.collide_accumulate as u32
+                + c.stream_explosion as u32
+                + c.stream_coalesce as u32
+                + c.finest_collide_stream as u32
+                + c.all_collide_stream as u32
+        };
+        let mut prev = 0;
+        for v in Variant::FIG9 {
+            let s = score(v.config());
+            assert!(s >= prev, "{} regressed fusions", v.name());
+            prev = s;
+        }
+        assert_eq!(score(Variant::FullyFused.config()), 5);
+    }
+
+    #[test]
+    fn baseline_has_no_fusion() {
+        assert_eq!(Variant::ModifiedBaseline.config(), FusionConfig::default());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = Variant::ALL.iter().map(|v| v.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,316 @@
+//! Launch, traffic and synchronization counters.
+//!
+//! Every kernel launch on the virtual device reports the traffic it *would*
+//! generate on the modeled GPU (the ops in `lbm-core` know their exact
+//! per-cell loads/stores); the profiler aggregates those numbers globally
+//! and per kernel name, together with measured wall-clock time, so that
+//! reports can show both measured and modeled performance side by side.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::device::DeviceModel;
+
+/// Traffic declared by a single kernel launch.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LaunchCost {
+    /// Lattice cells the kernel processes (for MLUPS accounting; ghost
+    /// cells must be excluded by the caller, paper §VI).
+    pub cells: u64,
+    /// Bytes read from device memory.
+    pub bytes_read: u64,
+    /// Bytes written to device memory (plain stores).
+    pub bytes_written: u64,
+    /// Bytes written through atomic read-modify-write.
+    pub atomic_bytes: u64,
+    /// Warp occupancy of the launch, `min(1, threads_per_block/warp)`:
+    /// thread blocks smaller than a warp leave lanes idle (the paper's
+    /// §V-B argument against 2³ blocks). 1.0 = full warps.
+    pub occupancy: f64,
+}
+
+impl Default for LaunchCost {
+    fn default() -> Self {
+        Self {
+            cells: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            atomic_bytes: 0,
+            occupancy: 1.0,
+        }
+    }
+}
+
+impl LaunchCost {
+    /// Cost of a kernel touching `cells` cells with the given per-cell
+    /// loads/stores of `value_bytes`-sized values.
+    pub fn per_cell(cells: u64, loads: u64, stores: u64, atomics: u64, value_bytes: u64) -> Self {
+        Self {
+            cells,
+            bytes_read: cells * loads * value_bytes,
+            bytes_written: cells * stores * value_bytes,
+            atomic_bytes: cells * atomics * value_bytes,
+            occupancy: 1.0,
+        }
+    }
+
+    /// Sets the warp occupancy from a thread-block size (cells per memory
+    /// block) against a 32-lane warp.
+    pub fn with_thread_block(mut self, threads: usize) -> Self {
+        self.occupancy = (threads as f64 / 32.0).min(1.0);
+        self
+    }
+
+    /// Component-wise sum (occupancy: traffic-weighted handling happens at
+    /// record time, so the merge keeps the minimum).
+    pub fn merge(self, o: LaunchCost) -> Self {
+        Self {
+            cells: self.cells + o.cells,
+            bytes_read: self.bytes_read + o.bytes_read,
+            bytes_written: self.bytes_written + o.bytes_written,
+            atomic_bytes: self.atomic_bytes + o.atomic_bytes,
+            occupancy: self.occupancy.min(o.occupancy),
+        }
+    }
+}
+
+/// Aggregated statistics for one kernel name or for the whole run.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of launches.
+    pub launches: u64,
+    /// Total cells processed.
+    pub cells: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written (plain).
+    pub bytes_written: u64,
+    /// Total bytes written atomically.
+    pub atomic_bytes: u64,
+    /// Extra effective bytes charged for under-occupied warps
+    /// (`traffic × (1/occupancy − 1)`).
+    pub stall_bytes: u64,
+    /// Measured wall-clock time, microseconds.
+    pub wall_us: f64,
+}
+
+impl KernelStats {
+    fn add(&mut self, cost: LaunchCost, wall_us: f64) {
+        self.launches += 1;
+        self.cells += cost.cells;
+        self.bytes_read += cost.bytes_read;
+        self.bytes_written += cost.bytes_written;
+        self.atomic_bytes += cost.atomic_bytes;
+        self.stall_bytes += stall_bytes(&cost);
+        self.wall_us += wall_us;
+    }
+
+    /// Modeled device time for these launches (excludes sync points, which
+    /// are accounted globally).
+    pub fn modeled_us(&self, device: &DeviceModel) -> f64 {
+        device.total_time_us(
+            self.launches,
+            0,
+            self.bytes_read + self.stall_bytes,
+            self.bytes_written,
+            self.atomic_bytes,
+        )
+    }
+}
+
+/// Effective extra bytes a launch wastes on idle warp lanes.
+fn stall_bytes(cost: &LaunchCost) -> u64 {
+    if cost.occupancy >= 1.0 {
+        return 0;
+    }
+    let traffic = (cost.bytes_read + cost.bytes_written + cost.atomic_bytes) as f64;
+    (traffic * (1.0 / cost.occupancy.max(1e-3) - 1.0)) as u64
+}
+
+/// Thread-safe profiler shared by the executor.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    launches: AtomicU64,
+    syncs: AtomicU64,
+    cells: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    atomic_bytes: AtomicU64,
+    stall_bytes: AtomicU64,
+    wall_ns: AtomicU64,
+    per_kernel: Mutex<BTreeMap<&'static str, KernelStats>>,
+}
+
+impl Profiler {
+    /// Fresh, zeroed profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one kernel launch (called by the executor).
+    pub fn record_launch(&self, name: &'static str, cost: LaunchCost, wall_us: f64) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.cells.fetch_add(cost.cells, Ordering::Relaxed);
+        self.bytes_read.fetch_add(cost.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(cost.bytes_written, Ordering::Relaxed);
+        self.atomic_bytes
+            .fetch_add(cost.atomic_bytes, Ordering::Relaxed);
+        self.stall_bytes
+            .fetch_add(stall_bytes(&cost), Ordering::Relaxed);
+        self.wall_ns
+            .fetch_add((wall_us * 1e3) as u64, Ordering::Relaxed);
+        self.per_kernel.lock().entry(name).or_default().add(cost, wall_us);
+    }
+
+    /// Records one synchronization point (dependency-graph barrier).
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total launches so far.
+    pub fn launches(&self) -> u64 {
+        self.launches.load(Ordering::Relaxed)
+    }
+
+    /// Total synchronization points so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Total cells processed so far.
+    pub fn cells(&self) -> u64 {
+        self.cells.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate statistics snapshot.
+    pub fn total(&self) -> KernelStats {
+        KernelStats {
+            launches: self.launches.load(Ordering::Relaxed),
+            cells: self.cells.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            atomic_bytes: self.atomic_bytes.load(Ordering::Relaxed),
+            stall_bytes: self.stall_bytes.load(Ordering::Relaxed),
+            wall_us: self.wall_ns.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+
+    /// Per-kernel breakdown snapshot, sorted by name.
+    pub fn per_kernel(&self) -> Vec<(&'static str, KernelStats)> {
+        self.per_kernel
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Modeled total device time in microseconds, including syncs and
+    /// warp-underutilization stalls.
+    pub fn modeled_us(&self, device: &DeviceModel) -> f64 {
+        let t = self.total();
+        device.total_time_us(
+            t.launches,
+            self.syncs(),
+            t.bytes_read + t.stall_bytes,
+            t.bytes_written,
+            t.atomic_bytes,
+        )
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.launches.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
+        self.cells.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.atomic_bytes.store(0, Ordering::Relaxed);
+        self.stall_bytes.store(0, Ordering::Relaxed);
+        self.wall_ns.store(0, Ordering::Relaxed);
+        self.per_kernel.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cell_cost() {
+        let c = LaunchCost::per_cell(100, 19, 19, 0, 8);
+        assert_eq!(c.cells, 100);
+        assert_eq!(c.bytes_read, 100 * 19 * 8);
+        assert_eq!(c.bytes_written, 100 * 19 * 8);
+        assert_eq!(c.atomic_bytes, 0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let a = LaunchCost::per_cell(10, 1, 1, 1, 8);
+        let b = LaunchCost::per_cell(5, 2, 0, 0, 8);
+        let m = a.merge(b);
+        assert_eq!(m.cells, 15);
+        assert_eq!(m.bytes_read, 80 + 80);
+        assert_eq!(m.bytes_written, 80);
+        assert_eq!(m.atomic_bytes, 80);
+    }
+
+    #[test]
+    fn profiler_aggregates() {
+        let p = Profiler::new();
+        p.record_launch("collide", LaunchCost::per_cell(64, 19, 19, 0, 8), 12.0);
+        p.record_launch("collide", LaunchCost::per_cell(64, 19, 19, 0, 8), 10.0);
+        p.record_launch("stream", LaunchCost::per_cell(64, 19, 19, 0, 8), 8.0);
+        p.record_sync();
+        assert_eq!(p.launches(), 3);
+        assert_eq!(p.syncs(), 1);
+        assert_eq!(p.cells(), 192);
+        let per = p.per_kernel();
+        assert_eq!(per.len(), 2);
+        let collide = per.iter().find(|(n, _)| *n == "collide").unwrap().1;
+        assert_eq!(collide.launches, 2);
+        assert_eq!(collide.cells, 128);
+        assert!((collide.wall_us - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiler_reset() {
+        let p = Profiler::new();
+        p.record_launch("k", LaunchCost::per_cell(1, 1, 1, 0, 8), 1.0);
+        p.record_sync();
+        p.reset();
+        assert_eq!(p.launches(), 0);
+        assert_eq!(p.syncs(), 0);
+        assert_eq!(p.total(), KernelStats::default());
+        assert!(p.per_kernel().is_empty());
+    }
+
+    #[test]
+    fn modeled_time_includes_syncs() {
+        let d = DeviceModel::a100_40gb();
+        let p = Profiler::new();
+        p.record_launch("k", LaunchCost::default(), 0.0);
+        let base = p.modeled_us(&d);
+        p.record_sync();
+        assert!((p.modeled_us(&d) - base - d.sync_overhead_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiler_is_thread_safe() {
+        let p = Profiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        p.record_launch("k", LaunchCost::per_cell(1, 1, 1, 0, 8), 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.launches(), 800);
+        assert_eq!(p.cells(), 800);
+    }
+}

@@ -1,0 +1,249 @@
+//! The virtual GPU executor.
+//!
+//! A *kernel launch* maps one sparse-grid block to one "CUDA block"
+//! (paper §V-A: "a block is assigned to one CUDA block and every CUDA thread
+//! is assigned to a cell within the given block"). Here each grid block is a
+//! rayon work item; the per-cell loop inside the closure plays the role of
+//! the thread block.
+//!
+//! Two launch shapes cover every LBM kernel:
+//! - [`Executor::launch`] — the closure only needs shared access
+//!   (pure reads plus atomic scatter writes);
+//! - [`Executor::launch_mut`] — the closure writes its own block's chunk of
+//!   a destination field (disjoint `&mut` per block, the gather pattern).
+//!
+//! Every launch records its declared [`LaunchCost`] plus measured wall time
+//! with the shared [`Profiler`], so benches can report measured and modeled
+//! performance from the same run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use crate::counters::{LaunchCost, Profiler};
+use crate::device::DeviceModel;
+
+/// Virtual GPU: executes kernels block-parallel and meters them.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    profiler: Arc<Profiler>,
+    device: DeviceModel,
+    parallel: bool,
+}
+
+impl Executor {
+    /// Parallel executor (rayon global pool) modeling `device`.
+    pub fn new(device: DeviceModel) -> Self {
+        Self {
+            profiler: Arc::new(Profiler::new()),
+            device,
+            parallel: true,
+        }
+    }
+
+    /// Single-threaded executor — deterministic execution order, used by
+    /// debugging tests and by comparators that model unoptimized codes.
+    pub fn sequential(device: DeviceModel) -> Self {
+        Self {
+            profiler: Arc::new(Profiler::new()),
+            device,
+            parallel: false,
+        }
+    }
+
+    /// The shared profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The modeled device.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Whether launches run block-parallel.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Launches a kernel over `n_blocks` blocks. The closure receives the
+    /// block index; it may read shared state and write atomics, but has no
+    /// exclusive access (use [`Executor::launch_mut`] to mutate fields).
+    pub fn launch<F>(&self, name: &'static str, n_blocks: usize, cost: LaunchCost, f: F)
+    where
+        F: Fn(u32) + Sync,
+    {
+        let t0 = Instant::now();
+        if self.parallel {
+            (0..n_blocks as u32).into_par_iter().for_each(&f);
+        } else {
+            (0..n_blocks as u32).for_each(&f);
+        }
+        self.profiler
+            .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Launches a kernel that mutates `data` in disjoint per-block chunks of
+    /// `stride` elements. The closure receives `(block_index, block_chunk)`.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `stride`.
+    pub fn launch_mut<T, F>(
+        &self,
+        name: &'static str,
+        data: &mut [T],
+        stride: usize,
+        cost: LaunchCost,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(u32, &mut [T]) + Sync,
+    {
+        assert!(stride > 0 && data.len() % stride == 0, "data not block-aligned");
+        let t0 = Instant::now();
+        if self.parallel {
+            data.par_chunks_exact_mut(stride)
+                .enumerate()
+                .for_each(|(b, chunk)| f(b as u32, chunk));
+        } else {
+            data.chunks_exact_mut(stride)
+                .enumerate()
+                .for_each(|(b, chunk)| f(b as u32, chunk));
+        }
+        self.profiler
+            .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Launches a kernel that mutates **two** destination arrays in disjoint
+    /// per-block chunks (e.g. fused kernels writing populations and a
+    /// macroscopic field). The closure receives
+    /// `(block_index, chunk_a, chunk_b)`.
+    pub fn launch_mut2<T, U, F>(
+        &self,
+        name: &'static str,
+        a: &mut [T],
+        stride_a: usize,
+        b: &mut [U],
+        stride_b: usize,
+        cost: LaunchCost,
+        f: F,
+    ) where
+        T: Send,
+        U: Send,
+        F: Fn(u32, &mut [T], &mut [U]) + Sync,
+    {
+        assert!(stride_a > 0 && a.len() % stride_a == 0, "a not block-aligned");
+        assert!(stride_b > 0 && b.len() % stride_b == 0, "b not block-aligned");
+        assert_eq!(a.len() / stride_a, b.len() / stride_b, "block count mismatch");
+        let t0 = Instant::now();
+        if self.parallel {
+            a.par_chunks_exact_mut(stride_a)
+                .zip(b.par_chunks_exact_mut(stride_b))
+                .enumerate()
+                .for_each(|(i, (ca, cb))| f(i as u32, ca, cb));
+        } else {
+            a.chunks_exact_mut(stride_a)
+                .zip(b.chunks_exact_mut(stride_b))
+                .enumerate()
+                .for_each(|(i, (ca, cb))| f(i as u32, ca, cb));
+        }
+        self.profiler
+            .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Records a synchronization point between dependent kernels.
+    ///
+    /// Execution here is synchronous, so this is pure accounting — but it is
+    /// exactly the quantity the Neon dependency graph minimizes and the
+    /// device model charges for.
+    pub fn sync(&self) {
+        self.profiler.record_sync();
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new(DeviceModel::a100_40gb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn launch_visits_every_block() {
+        let ex = Executor::default();
+        let hits = AtomicU64::new(0);
+        ex.launch("k", 100, LaunchCost::default(), |b| {
+            assert!(b < 100);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(ex.profiler().launches(), 1);
+    }
+
+    #[test]
+    fn launch_mut_chunks_are_disjoint_and_indexed() {
+        let ex = Executor::default();
+        let mut data = vec![0u32; 8 * 16];
+        ex.launch_mut("k", &mut data, 16, LaunchCost::default(), |b, chunk| {
+            assert_eq!(chunk.len(), 16);
+            chunk.fill(b);
+        });
+        for (i, chunk) in data.chunks_exact(16).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u32));
+        }
+    }
+
+    #[test]
+    fn launch_mut2_zips_blocks() {
+        let ex = Executor::default();
+        let mut a = vec![0u32; 4 * 8];
+        let mut b = vec![0f64; 4 * 2];
+        ex.launch_mut2("k", &mut a, 8, &mut b, 2, LaunchCost::default(), |i, ca, cb| {
+            ca.fill(i);
+            cb.fill(i as f64 * 0.5);
+        });
+        assert_eq!(a[3 * 8], 3);
+        assert_eq!(b[3 * 2], 1.5);
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel() {
+        let par = Executor::default();
+        let seq = Executor::sequential(DeviceModel::a100_40gb());
+        assert!(par.is_parallel());
+        assert!(!seq.is_parallel());
+        let mut d1 = vec![0u64; 64];
+        let mut d2 = vec![0u64; 64];
+        let body = |b: u32, c: &mut [u64]| c.iter_mut().for_each(|v| *v = b as u64 + 7);
+        par.launch_mut("k", &mut d1, 8, LaunchCost::default(), body);
+        seq.launch_mut("k", &mut d2, 8, LaunchCost::default(), body);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn profiling_accumulates_cost_and_syncs() {
+        let ex = Executor::default();
+        ex.launch("a", 4, LaunchCost::per_cell(256, 19, 19, 0, 8), |_| {});
+        ex.sync();
+        ex.launch("b", 4, LaunchCost::per_cell(128, 19, 19, 2, 8), |_| {});
+        let t = ex.profiler().total();
+        assert_eq!(t.launches, 2);
+        assert_eq!(t.cells, 384);
+        assert_eq!(ex.profiler().syncs(), 1);
+        assert!(t.wall_us >= 0.0);
+        assert!(ex.profiler().modeled_us(ex.device()) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not block-aligned")]
+    fn rejects_misaligned_data() {
+        let ex = Executor::default();
+        let mut data = vec![0u32; 10];
+        ex.launch_mut("k", &mut data, 3, LaunchCost::default(), |_, _| {});
+    }
+}

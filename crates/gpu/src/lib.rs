@@ -1,0 +1,34 @@
+//! # lbm-gpu
+//!
+//! The **virtual GPU** substrate. The paper's contribution is a set of
+//! GPU-execution decisions — which kernels exist, what each loads and
+//! stores, where synchronization happens, where atomics replace gathers.
+//! This crate reproduces that execution model on CPU hardware:
+//!
+//! - [`exec::Executor`]: kernel launches mapping one sparse-grid block to
+//!   one "CUDA block" (a rayon work item), in parallel or sequential mode;
+//! - [`atomic::AtomicF64Field`]: CUDA-style `atomicAdd(double*)` buffers for
+//!   the scatter Accumulate step;
+//! - [`counters::Profiler`]: per-kernel launch / traffic / sync metering;
+//! - [`device::DeviceModel`]: an A100-40GB analytic cost model turning the
+//!   metered traffic into modeled GPU time (LBM is bandwidth-bound, so
+//!   `time ≈ launches·overhead + syncs·overhead + bytes/bandwidth`);
+//! - [`memory::MemoryPlan`]: allocation planning against the 40 GB budget
+//!   for the paper's capacity claims (Fig. 1, §VI-B).
+//!
+//! See DESIGN.md §2 for why this substitution preserves the paper's
+//! experimental shape.
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod counters;
+pub mod device;
+pub mod exec;
+pub mod memory;
+
+pub use atomic::AtomicF64Field;
+pub use counters::{KernelStats, LaunchCost, Profiler};
+pub use device::DeviceModel;
+pub use exec::Executor;
+pub use memory::{max_uniform_cube, MemoryPlan};

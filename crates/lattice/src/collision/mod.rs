@@ -1,0 +1,39 @@
+//! Collision operators `C` (paper Eq. 1).
+//!
+//! Two operators match the paper's experiments — [`Bgk`] (single
+//! relaxation time, lid-driven cavity / laminar cases) and [`Kbc`]
+//! (entropic multi-relaxation of Karlin–Bösch–Chikatamarla, turbulent
+//! wind-tunnel cases; requires the full D3Q27 lattice) — plus [`Trt`]
+//! (two-relaxation-time, beyond paper) for wall-accuracy studies.
+
+mod bgk;
+mod kbc;
+mod trt;
+
+pub use bgk::Bgk;
+pub use kbc::Kbc;
+pub use trt::{Trt, MAGIC_BOUNCE_BACK};
+
+use crate::real::Real;
+use crate::velocity_set::{VelocitySet, MAX_Q};
+
+/// A local collision operator: maps pre-collision populations to
+/// post-collision populations in place.
+///
+/// Implementations are `Copy` value types parameterized by the relaxation
+/// rate so each refinement level can carry its own instance (ω varies per
+/// level, paper Eq. 9).
+pub trait Collision<T: Real, V: VelocitySet>: Copy + Send + Sync + 'static {
+    /// Applies the operator to `f[..V::Q]` in place.
+    fn collide(&self, f: &mut [T; MAX_Q]);
+
+    /// Relaxation rate ω = Δt/τ this instance was built with.
+    fn omega(&self) -> T;
+
+    /// Rebuilds the operator with a different relaxation rate (used when
+    /// instantiating per-level operators from the level-0 rate).
+    fn with_omega(&self, omega: T) -> Self;
+
+    /// Operator name for reports ("BGK", "KBC").
+    fn name(&self) -> &'static str;
+}

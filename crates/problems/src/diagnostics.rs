@@ -1,0 +1,155 @@
+//! Flow diagnostics and output helpers shared by the problems and the
+//! benchmark harness.
+
+use std::fs::File;
+use std::io::{BufWriter, Result as IoResult, Write};
+use std::path::Path;
+
+use lbm_core::MultiGrid;
+use lbm_lattice::{Real, VelocitySet, MAX_Q};
+
+/// Total kinetic energy `Σ ½ρ‖u‖²·V_cell` over real cells, in finest-cell
+/// volume units.
+pub fn kinetic_energy<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> f64 {
+    let mut total = 0.0;
+    for (l, level) in grid.levels.iter().enumerate() {
+        let vol = (grid.spec.scale_to_finest(l as u32) as f64).powi(3);
+        let f = level.f.src();
+        for (r, _) in level.iter_real() {
+            let mut pops = [T::ZERO; MAX_Q];
+            for i in 0..V::Q {
+                pops[i] = f.get(r.block, i, r.cell);
+            }
+            let (rho, u) = lbm_lattice::density_velocity::<T, V>(&pops[..]);
+            let usq = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).to_f64();
+            total += 0.5 * rho.to_f64() * usq * vol;
+        }
+    }
+    total
+}
+
+/// Maximum velocity magnitude over real cells (stability monitor: values
+/// approaching the lattice sound speed 0.577 mean the run is diverging).
+pub fn max_speed<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> f64 {
+    let mut max = 0.0f64;
+    for level in &grid.levels {
+        let f = level.f.src();
+        for (r, _) in level.iter_real() {
+            let mut pops = [T::ZERO; MAX_Q];
+            for i in 0..V::Q {
+                pops[i] = f.get(r.block, i, r.cell);
+            }
+            let (_, u) = lbm_lattice::density_velocity::<T, V>(&pops[..]);
+            max = max.max(lbm_lattice::moments::speed(u).to_f64());
+        }
+    }
+    max
+}
+
+/// True when the field contains no NaN/inf populations.
+pub fn is_finite<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> bool {
+    grid.levels
+        .iter()
+        .all(|l| l.f.src().as_slice().iter().all(|v| v.is_finite()))
+}
+
+/// Steady-state driver: runs in chunks of `check_every` coarse steps until
+/// the relative kinetic-energy change per chunk drops below `tol` (or
+/// `max_steps` is reached). Returns the number of coarse steps taken.
+pub fn run_to_steady<T, V, C>(
+    eng: &mut lbm_core::Engine<T, V, C>,
+    check_every: usize,
+    tol: f64,
+    max_steps: usize,
+) -> usize
+where
+    T: Real,
+    V: VelocitySet,
+    C: lbm_lattice::Collision<T, V>,
+{
+    let mut prev = kinetic_energy(&eng.grid);
+    let mut steps = 0;
+    while steps < max_steps {
+        eng.run(check_every);
+        steps += check_every;
+        let ke = kinetic_energy(&eng.grid);
+        let denom = ke.abs().max(1e-300);
+        if ((ke - prev) / denom).abs() < tol {
+            return steps;
+        }
+        prev = ke;
+    }
+    steps
+}
+
+/// Writes `(x, value)` rows as CSV.
+pub fn write_profile_csv(path: impl AsRef<Path>, header: &str, rows: &[(f64, f64)]) -> IoResult<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{header}")?;
+    for (x, v) in rows {
+        writeln!(w, "{x},{v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a generic table: one header line, rows of comma-joined values.
+pub fn write_table_csv(
+    path: impl AsRef<Path>,
+    header: &str,
+    rows: &[Vec<f64>],
+) -> IoResult<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{header}")?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::{AllWalls, GridSpec, MultiGrid};
+    use lbm_lattice::D3Q19;
+    use lbm_sparse::Box3;
+
+    fn grid_with(u: [f64; 3]) -> MultiGrid<f64, D3Q19> {
+        let spec = GridSpec::uniform(Box3::from_dims(8, 8, 8));
+        let mut g = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, 1.0);
+        g.init_equilibrium(|_, _| 1.0, move |_, _| u);
+        g
+    }
+
+    #[test]
+    fn kinetic_energy_of_uniform_flow() {
+        let g = grid_with([0.1, 0.0, 0.0]);
+        let expect = 0.5 * 1.0 * 0.01 * 512.0;
+        assert!((kinetic_energy(&g) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn max_speed_reports_magnitude() {
+        let g = grid_with([0.03, 0.04, 0.0]);
+        assert!((max_speed(&g) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let g = grid_with([0.0; 3]);
+        assert!(is_finite(&g));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("lbm_diag_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("profile.csv");
+        write_profile_csv(&p, "y,u", &[(0.0, 1.0), (0.5, 2.0)]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("y,u\n0,1\n0.5,2"));
+        let t = dir.join("table.csv");
+        write_table_csv(&t, "a,b,c", &[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(std::fs::read_to_string(&t).unwrap().contains("1,2,3"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Momentum-exchange force evaluation on immersed obstacles.
+//!
+//! For every halfway-bounce-back link on the body surface, the momentum
+//! handed to the body per time step is `−e_i (f*_ī + f_i)` where `f*_ī` is
+//! the population leaving the fluid cell toward the wall and
+//! `f_i = f*_ī + wall term` the one returning (Ladd's momentum-exchange
+//! method). Summing over the surface gives the instantaneous hydrodynamic
+//! force — the standard way to compute drag/lift in LBM, and a quantitative
+//! check of the wind-tunnel physics beyond the paper's qualitative Fig. 8.
+//!
+//! The obstacle is identified by a point predicate on the *missing source
+//! position* of each wall link, so domain walls are excluded. Refinement
+//! bands guarantee bodies live on the finest level, where the evaluation
+//! happens in finest lattice units.
+
+use lbm_core::links::LinkKind;
+use lbm_core::{Engine, MultiGrid};
+use lbm_lattice::{Collision, Real, VelocitySet};
+use lbm_sparse::Coord;
+
+/// Instantaneous force on the obstacle in lattice units of the evaluated
+/// level (momentum per step per unit cell face).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Force {
+    /// Force components `[Fx, Fy, Fz]`.
+    pub f: [f64; 3],
+    /// Number of surface links that contributed.
+    pub links: usize,
+}
+
+/// Evaluates the momentum-exchange force over the wall links of `level`
+/// whose missing source satisfies `is_obstacle` (level-local coordinates).
+pub fn momentum_exchange<T, V>(
+    grid: &MultiGrid<T, V>,
+    level: usize,
+    is_obstacle: impl Fn(Coord) -> bool,
+) -> Force
+where
+    T: Real,
+    V: VelocitySet,
+{
+    let lvl = &grid.levels[level];
+    let src = lvl.f.src();
+    let mut out = Force::default();
+    for (bi, bl) in lvl.links.iter().enumerate() {
+        for set in &bl.cells {
+            let cell_coord = lvl.grid.block(bi as u32).origin + lvl.grid.delinear(set.cell);
+            for link in &set.links {
+                let i = link.dir as usize;
+                let (opp, term) = match link.kind {
+                    LinkKind::BounceBack { opp } => (opp as usize, 0.0),
+                    LinkKind::MovingWall { opp, term } => (opp as usize, term.to_f64()),
+                    _ => continue,
+                };
+                // The missing source position this link stands in for.
+                let s = cell_coord - Coord::from_array(V::C[i]);
+                if !is_obstacle(s) {
+                    continue;
+                }
+                let f_out = src.get(bi as u32, opp, set.cell).to_f64();
+                let f_in = f_out + term;
+                // Momentum to the body: −e_i (f_out + f_in).
+                for a in 0..3 {
+                    out.f[a] -= V::C[i][a] as f64 * (f_out + f_in);
+                }
+                out.links += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Drag coefficient of a sphere of radius `r` (same lattice units as the
+/// force): `C_d = F_x / (½ ρ u² π r²)`.
+pub fn drag_coefficient(force: &Force, rho: f64, u: f64, r: f64) -> f64 {
+    force.f[0] / (0.5 * rho * u * u * std::f64::consts::PI * r * r)
+}
+
+/// Schiller–Naumann correlation for sphere drag, valid for `Re ≲ 800`:
+/// `C_d = (24/Re)(1 + 0.15 Re^0.687)`.
+pub fn schiller_naumann(re: f64) -> f64 {
+    24.0 / re * (1.0 + 0.15 * re.powf(0.687))
+}
+
+/// Convenience: sphere drag on the finest level of a running engine.
+pub fn sphere_drag<T, V, C>(
+    eng: &Engine<T, V, C>,
+    sphere: crate::geometry::Sphere,
+) -> Force
+where
+    T: Real,
+    V: VelocitySet,
+    C: Collision<T, V>,
+{
+    use crate::geometry::Sdf;
+    let finest = eng.grid.num_levels() - 1;
+    momentum_exchange(&eng.grid, finest, |s| {
+        sphere.distance([s.x as f64 + 0.5, s.y as f64 + 0.5, s.z as f64 + 0.5]) < 0.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::{SphereConfig, SphereFlow};
+    use lbm_core::Variant;
+    use lbm_gpu::{DeviceModel, Executor};
+
+    #[test]
+    fn quiescent_fluid_exerts_no_net_force() {
+        // A sphere in fluid at rest: the bounce-back exchange must cancel.
+        let mut c = SphereConfig::for_size([36, 24, 36]);
+        c.re = 50.0;
+        c.u_inlet = 0.03;
+        let flow = SphereFlow::new(c);
+        let mut eng = flow.engine_bgk(Variant::FusedAll, Executor::new(DeviceModel::a100_40gb()));
+        // Overwrite the inlet initialization with a quiescent state.
+        eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
+        let f = sphere_drag(&eng, flow.sphere);
+        assert!(f.links > 100, "sphere surface must have many links");
+        for a in 0..3 {
+            assert!(f.f[a].abs() < 1e-10, "net force [{a}] = {}", f.f[a]);
+        }
+    }
+
+    #[test]
+    fn drag_points_downstream_and_is_reasonable() {
+        let mut c = SphereConfig::for_size([48, 32, 48]);
+        c.re = 20.0;
+        c.u_inlet = 0.04;
+        let flow = SphereFlow::new(c);
+        let mut eng = flow.engine_bgk(Variant::FusedAll, Executor::new(DeviceModel::a100_40gb()));
+        // Let the flow develop past the initial transient.
+        eng.run(150);
+        let f = sphere_drag(&eng, flow.sphere);
+        assert!(f.f[0] > 0.0, "drag must point downstream, got {:?}", f.f);
+        // Lateral forces vanish by symmetry (loose: the wake oscillates).
+        assert!(f.f[1].abs() < 0.5 * f.f[0]);
+        let cd = drag_coefficient(&f, 1.0, flow.config.u_inlet, flow.config.radius);
+        let reference = schiller_naumann(20.0);
+        // R = 4 cells is coarse and the tunnel blocks ~2%; expect the
+        // right magnitude, not percent agreement.
+        assert!(
+            cd > 0.4 * reference && cd < 2.5 * reference,
+            "Cd = {cd}, Schiller–Naumann = {reference}"
+        );
+    }
+
+    #[test]
+    fn correlation_sanity() {
+        assert!((schiller_naumann(1.0) - 24.0 * 1.15).abs() < 0.1);
+        assert!(schiller_naumann(100.0) < schiller_naumann(10.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Reference data of Ghia, Ghia & Shin (1982), *High-Re solutions for
+//! incompressible flow using the Navier-Stokes equations and a multigrid
+//! method* — the validation standard the paper plots in Fig. 7.
+//!
+//! Velocities are normalized by the lid speed; coordinates by the cavity
+//! side (0 = stationary wall corner, 1 = lid level / far wall).
+
+/// `(y, u/u_lid)` along the vertical line through the cavity center,
+/// Re = 100 (Ghia Table I, column Re=100).
+pub const U_CENTERLINE_RE100: [(f64, f64); 17] = [
+    (0.0000, 0.00000),
+    (0.0547, -0.03717),
+    (0.0625, -0.04192),
+    (0.0703, -0.04775),
+    (0.1016, -0.06434),
+    (0.1719, -0.10150),
+    (0.2813, -0.15662),
+    (0.4531, -0.21090),
+    (0.5000, -0.20581),
+    (0.6172, -0.13641),
+    (0.7344, 0.00332),
+    (0.8516, 0.23151),
+    (0.9531, 0.68717),
+    (0.9609, 0.73722),
+    (0.9688, 0.78871),
+    (0.9766, 0.84123),
+    (1.0000, 1.00000),
+];
+
+/// `(x, v/u_lid)` along the horizontal line through the cavity center,
+/// Re = 100 (Ghia Table II, column Re=100).
+pub const V_CENTERLINE_RE100: [(f64, f64); 17] = [
+    (0.0000, 0.00000),
+    (0.0625, 0.09233),
+    (0.0703, 0.10091),
+    (0.0781, 0.10890),
+    (0.0938, 0.12317),
+    (0.1563, 0.16077),
+    (0.2266, 0.17507),
+    (0.2344, 0.17527),
+    (0.5000, 0.05454),
+    (0.8047, -0.24533),
+    (0.8594, -0.22445),
+    (0.9063, -0.16914),
+    (0.9453, -0.10313),
+    (0.9531, -0.08864),
+    (0.9609, -0.07391),
+    (0.9688, -0.05906),
+    (1.0000, 0.00000),
+];
+
+/// Linearly interpolates a sampled profile `(coord, value)` (sorted by
+/// coord) at `x`, clamping at the ends.
+pub fn interp(profile: &[(f64, f64)], x: f64) -> f64 {
+    if profile.is_empty() {
+        return 0.0;
+    }
+    if x <= profile[0].0 {
+        return profile[0].1;
+    }
+    if x >= profile[profile.len() - 1].0 {
+        return profile[profile.len() - 1].1;
+    }
+    for w in profile.windows(2) {
+        let (x0, v0) = w[0];
+        let (x1, v1) = w[1];
+        if x <= x1 {
+            let t = (x - x0) / (x1 - x0);
+            return v0 + t * (v1 - v0);
+        }
+    }
+    profile[profile.len() - 1].1
+}
+
+/// Error statistics between a measured profile and a reference table,
+/// evaluated at the reference's sample points (endpoints excluded — they
+/// are boundary values pinned by construction).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ProfileError {
+    /// Root-mean-square deviation.
+    pub rms: f64,
+    /// Maximum absolute deviation.
+    pub max: f64,
+}
+
+/// Compares `measured` (sorted `(coord, value)` samples) against a Ghia
+/// reference table.
+pub fn compare(measured: &[(f64, f64)], reference: &[(f64, f64)]) -> ProfileError {
+    let mut sum2 = 0.0;
+    let mut max: f64 = 0.0;
+    let inner = &reference[1..reference.len() - 1];
+    for &(x, v_ref) in inner {
+        let v = interp(measured, x);
+        let e = (v - v_ref).abs();
+        sum2 += e * e;
+        max = max.max(e);
+    }
+    ProfileError {
+        rms: (sum2 / inner.len() as f64).sqrt(),
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_sorted_and_bounded() {
+        for table in [&U_CENTERLINE_RE100, &V_CENTERLINE_RE100] {
+            assert!(table.windows(2).all(|w| w[0].0 < w[1].0));
+            assert_eq!(table[0].0, 0.0);
+            assert_eq!(table[table.len() - 1].0, 1.0);
+            assert!(table.iter().all(|&(_, v)| v.abs() <= 1.0));
+        }
+        // Boundary values: no-slip at walls, u = u_lid at the lid.
+        assert_eq!(U_CENTERLINE_RE100[0].1, 0.0);
+        assert_eq!(U_CENTERLINE_RE100[16].1, 1.0);
+        assert_eq!(V_CENTERLINE_RE100[0].1, 0.0);
+        assert_eq!(V_CENTERLINE_RE100[16].1, 0.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let p = [(0.0, 0.0), (1.0, 2.0)];
+        assert_eq!(interp(&p, 0.5), 1.0);
+        assert_eq!(interp(&p, -1.0), 0.0);
+        assert_eq!(interp(&p, 2.0), 2.0);
+    }
+
+    #[test]
+    fn self_comparison_is_zero_error() {
+        let e = compare(&U_CENTERLINE_RE100, &U_CENTERLINE_RE100);
+        assert!(e.rms < 1e-14);
+        assert!(e.max < 1e-14);
+    }
+
+    #[test]
+    fn perturbed_comparison_detects_error() {
+        let shifted: Vec<(f64, f64)> = U_CENTERLINE_RE100
+            .iter()
+            .map(|&(x, v)| (x, v + 0.05))
+            .collect();
+        let e = compare(&shifted, &U_CENTERLINE_RE100);
+        assert!((e.rms - 0.05).abs() < 1e-12);
+        assert!((e.max - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # lbm-problems
+//!
+//! The paper's benchmark problems (§VI) plus analytic validation flows:
+//!
+//! - [`cavity`]: lid-driven cavity with near-wall refinement and Ghia
+//!   validation (Figs. 6–7);
+//! - [`sphere`]: flow over a sphere in a virtual wind tunnel, KBC/D3Q27,
+//!   three refinement levels (Fig. 8, Table I);
+//! - [`airplane`]: the Fig.-1 airplane tunnel — procedural geometry,
+//!   full-scale memory census, runnable scaled version;
+//! - [`tgv`]: Taylor–Green vortex accuracy benchmark (beyond paper);
+//! - [`geometry`]: signed-distance shapes, voxelization, distance-band
+//!   refinement;
+//! - [`ghia`]: the Ghia et al. (1982) reference tables of Fig. 7;
+//! - [`windtunnel`]: shared inlet/outflow/wall boundary assignment;
+//! - [`diagnostics`]: energy/speed monitors, steady-state driver, CSV.
+
+#![warn(missing_docs)]
+
+pub mod airplane;
+pub mod cavity;
+pub mod diagnostics;
+pub mod forces;
+pub mod geometry;
+pub mod ghia;
+pub mod sphere;
+pub mod tgv;
+pub mod vtk;
+pub mod windtunnel;
+
+pub use airplane::{airplane_sdf, AirplaneConfig, AirplaneEngine, AirplaneFlow};
+pub use cavity::{Cavity, CavityConfig, CavityEngine};
+pub use geometry::{band_refinement, solid_at_finest, Capsule, Ellipsoid, Sdf, Sphere, Union};
+pub use forces::{drag_coefficient, momentum_exchange, schiller_naumann, sphere_drag, Force};
+pub use ghia::ProfileError;
+pub use sphere::{SphereConfig, SphereEngine, SphereFlow};
+pub use tgv::{Tgv, TgvConfig, TgvEngine};
+pub use windtunnel::tunnel_boundary;

@@ -1,0 +1,55 @@
+//! Virtual wind tunnel scaffolding shared by the sphere and airplane cases
+//! (paper §VI-B): velocity inlet at `x = 0` (imposed through the bounce-back
+//! technique), lattice-weight outflow at `x = max`, no-slip side walls.
+
+use lbm_core::Boundary;
+use lbm_sparse::Coord;
+
+/// Boundary closure for a wind tunnel with flow along `+x`.
+///
+/// `size` is the finest-level domain extent and `levels` the stack depth
+/// (face positions scale per level); `u_inlet` is the inflow speed in
+/// lattice units.
+pub fn tunnel_boundary(
+    size: [usize; 3],
+    levels: u32,
+    u_inlet: f64,
+) -> impl Fn(u32, Coord, usize) -> Boundary + Sync {
+    move |level: u32, src: Coord, _dir: usize| {
+        let shift = levels - 1 - level;
+        let nx = (size[0] >> shift) as i32;
+        if src.x < 0 {
+            Boundary::MovingWall {
+                velocity: [u_inlet, 0.0, 0.0],
+            }
+        } else if src.x >= nx {
+            Boundary::Outflow
+        } else {
+            // Side walls (y/z faces) and any obstacle surface.
+            Boundary::BounceBack
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faces_classified() {
+        let bc = tunnel_boundary([64, 32, 32], 2, 0.05);
+        // Level 1 (finest) coordinates.
+        assert_eq!(
+            bc(1, Coord::new(-1, 5, 5), 1),
+            Boundary::MovingWall {
+                velocity: [0.05, 0.0, 0.0]
+            }
+        );
+        assert_eq!(bc(1, Coord::new(64, 5, 5), 2), Boundary::Outflow);
+        assert_eq!(bc(1, Coord::new(5, -1, 5), 3), Boundary::BounceBack);
+        assert_eq!(bc(1, Coord::new(5, 5, 32), 5), Boundary::BounceBack);
+        // Level 0 sees halved extents.
+        assert_eq!(bc(0, Coord::new(32, 5, 5), 2), Boundary::Outflow);
+        assert_eq!(bc(0, Coord::new(31, -1, 5), 3), Boundary::BounceBack);
+    }
+}

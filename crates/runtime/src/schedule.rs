@@ -1,0 +1,108 @@
+//! Wave schedule derived from a [`TaskGraph`](crate::graph::TaskGraph).
+//!
+//! Neon runs independent kernels concurrently and synchronizes between
+//! dependent groups. The [`Schedule`] materializes that plan: kernels
+//! grouped into waves, one synchronization point between consecutive waves.
+//! `lbm-core` replays the plan on the virtual GPU executor, calling
+//! `Executor::sync()` exactly `sync_count` times per step so the cost model
+//! charges synchronization the way the real runtime would.
+
+use crate::graph::TaskGraph;
+
+/// Kernels grouped into concurrently-runnable waves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// `waves[w]` lists node indices runnable concurrently in wave `w`.
+    pub waves: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Builds the ASAP wave schedule of `graph`.
+    pub fn from_graph(graph: &TaskGraph) -> Self {
+        let wave_of = graph.waves();
+        let n_waves = wave_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut waves = vec![Vec::new(); n_waves];
+        for (node, &w) in wave_of.iter().enumerate() {
+            waves[w].push(node);
+        }
+        Self { waves }
+    }
+
+    /// Number of synchronization points (between consecutive waves).
+    pub fn sync_count(&self) -> usize {
+        self.waves.len().saturating_sub(1)
+    }
+
+    /// Total kernels scheduled.
+    pub fn kernel_count(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum()
+    }
+
+    /// Human-readable rendering: one line per wave.
+    pub fn render(&self, graph: &TaskGraph) -> String {
+        let mut out = String::new();
+        for (w, nodes) in self.waves.iter().enumerate() {
+            let labels: Vec<&str> = nodes
+                .iter()
+                .map(|&n| graph.nodes()[n].label.as_str())
+                .collect();
+            out.push_str(&format!("wave {w}: {}\n", labels.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{FieldId, KernelNode};
+
+    fn node(name: &str, reads: &[usize], writes: &[usize]) -> KernelNode {
+        KernelNode {
+            name: name.into(),
+            label: name.into(),
+            level: None,
+            reads: reads.iter().map(|&i| FieldId(i)).collect(),
+            writes: writes.iter().map(|&i| FieldId(i)).collect(),
+            atomics: vec![],
+        }
+    }
+
+    #[test]
+    fn diamond_schedule() {
+        // a writes f0; b and c read f0 writing f1/f2; d reads f1+f2.
+        let mut g = TaskGraph::new();
+        g.push(node("a", &[], &[0]));
+        g.push(node("b", &[0], &[1]));
+        g.push(node("c", &[0], &[2]));
+        g.push(node("d", &[1, 2], &[3]));
+        let s = Schedule::from_graph(&g);
+        assert_eq!(s.waves.len(), 3);
+        assert_eq!(s.waves[0], vec![0]);
+        assert_eq!(s.waves[1], vec![1, 2], "b and c are independent");
+        assert_eq!(s.waves[2], vec![3]);
+        assert_eq!(s.sync_count(), 2);
+        assert_eq!(s.kernel_count(), 4);
+        assert_eq!(s.sync_count(), g.sync_count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        let s = Schedule::from_graph(&g);
+        assert_eq!(s.waves.len(), 0);
+        assert_eq!(s.sync_count(), 0);
+        assert_eq!(s.kernel_count(), 0);
+    }
+
+    #[test]
+    fn render_shows_waves() {
+        let mut g = TaskGraph::new();
+        g.push(node("C0", &[], &[0]));
+        g.push(node("S0", &[0], &[1]));
+        let s = Schedule::from_graph(&g);
+        let r = s.render(&g);
+        assert!(r.contains("wave 0: C0"));
+        assert!(r.contains("wave 1: S0"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-block active-cell bitmask (paper §V-A: "for each block, we allocate a
+//! bitmask to track the active cells within the block").
+
+/// A fixed-capacity bitmask over the cells of one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitMask {
+    /// Creates a mask of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a mask of `len` bits, all set.
+    pub fn full(len: usize) -> Self {
+        let mut m = Self::new(len);
+        for i in 0..len {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are addressable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets or clears bit `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if v {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Reads bit `i`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every bit is set.
+    pub fn all(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the indices of set bits in increasing order.
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits {
+            mask: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Heap bytes used (memory-model accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator over set bits of a [`BitMask`].
+pub struct SetBits<'a> {
+    mask: &'a BitMask,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                let idx = self.word * 64 + b;
+                // Guard against phantom bits beyond `len` in the last word.
+                if idx < self.mask.len {
+                    return Some(idx);
+                } else {
+                    return None;
+                }
+            }
+            self.word += 1;
+            if self.word >= self.mask.words.len() {
+                return None;
+            }
+            self.bits = self.mask.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut m = BitMask::new(100);
+        assert_eq!(m.count(), 0);
+        assert!(m.none());
+        m.set(0, true);
+        m.set(63, true);
+        m.set(64, true);
+        m.set(99, true);
+        assert_eq!(m.count(), 4);
+        assert!(m.get(63));
+        assert!(m.get(64));
+        assert!(!m.get(1));
+        m.set(63, false);
+        assert_eq!(m.count(), 3);
+        assert!(!m.get(63));
+    }
+
+    #[test]
+    fn full_mask() {
+        let m = BitMask::full(130);
+        assert_eq!(m.count(), 130);
+        assert!(m.all());
+        assert!(!m.none());
+        assert_eq!(m.iter_set().count(), 130);
+    }
+
+    #[test]
+    fn iter_set_matches_get() {
+        let mut m = BitMask::new(200);
+        let picks = [0usize, 3, 64, 65, 127, 128, 199];
+        for &p in &picks {
+            m.set(p, true);
+        }
+        let got: Vec<_> = m.iter_set().collect();
+        assert_eq!(got, picks);
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m = BitMask::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.iter_set().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn iteration_agrees_with_membership(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let mut m = BitMask::new(bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                m.set(i, b);
+            }
+            let from_iter: Vec<usize> = m.iter_set().collect();
+            let expected: Vec<usize> =
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            prop_assert_eq!(from_iter, expected);
+            prop_assert_eq!(m.count(), bits.iter().filter(|&&b| b).count());
+        }
+    }
+}

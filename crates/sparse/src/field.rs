@@ -1,0 +1,291 @@
+//! AoSoA field storage over a [`SparseGrid`](crate::grid::SparseGrid)
+//! (paper §V-A, Fig. 5).
+//!
+//! Per block, the `q` components of a vector field are stored contiguously,
+//! grouped by component: `data[block · q·B³ + comp · B³ + cell]`. Each block
+//! maps to one "CUDA block" of the virtual GPU, and within a component the
+//! cells of a block are contiguous — the layout that guarantees coalesced
+//! accesses on real hardware and cache-line-friendly sweeps here.
+
+use crate::grid::{BlockIdx, SparseGrid};
+
+/// A `q`-component field over the active blocks of a sparse grid.
+///
+/// Storage is dense per block: inactive cells inside an allocated block
+/// occupy slots (exactly as on the GPU) but are never touched by kernels.
+#[derive(Clone, Debug)]
+pub struct Field<T> {
+    q: usize,
+    cells_per_block: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Field<T> {
+    /// Allocates the field for `grid`, filling every slot with `init`.
+    pub fn new(grid: &SparseGrid, q: usize, init: T) -> Self {
+        assert!(q >= 1, "field needs at least one component");
+        let cpb = grid.cells_per_block();
+        Self {
+            q,
+            cells_per_block: cpb,
+            data: vec![init; grid.num_blocks() * q * cpb],
+        }
+    }
+
+    /// Number of components per cell.
+    #[inline(always)]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Cells per block (`B³`).
+    #[inline(always)]
+    pub fn cells_per_block(&self) -> usize {
+        self.cells_per_block
+    }
+
+    /// Elements per block (`q · B³`): the chunk size for per-block
+    /// parallel mutation.
+    #[inline(always)]
+    pub fn block_stride(&self) -> usize {
+        self.q * self.cells_per_block
+    }
+
+    /// Number of blocks covered.
+    #[inline(always)]
+    pub fn num_blocks(&self) -> usize {
+        self.data.len() / self.block_stride()
+    }
+
+    /// Flat index of `(block, comp, cell)` in the AoSoA layout.
+    #[inline(always)]
+    pub fn index(&self, block: BlockIdx, comp: usize, cell: u32) -> usize {
+        debug_assert!(comp < self.q);
+        debug_assert!((cell as usize) < self.cells_per_block);
+        (block as usize) * self.block_stride() + comp * self.cells_per_block + cell as usize
+    }
+
+    /// Reads one value.
+    #[inline(always)]
+    pub fn get(&self, block: BlockIdx, comp: usize, cell: u32) -> T {
+        self.data[self.index(block, comp, cell)]
+    }
+
+    /// Writes one value.
+    #[inline(always)]
+    pub fn set(&mut self, block: BlockIdx, comp: usize, cell: u32, v: T) {
+        let i = self.index(block, comp, cell);
+        self.data[i] = v;
+    }
+
+    /// Read-only view of one block's storage (`q · B³` values).
+    #[inline(always)]
+    pub fn block(&self, block: BlockIdx) -> &[T] {
+        let s = self.block_stride();
+        &self.data[(block as usize) * s..(block as usize + 1) * s]
+    }
+
+    /// Mutable view of one block's storage.
+    #[inline(always)]
+    pub fn block_mut(&mut self, block: BlockIdx) -> &mut [T] {
+        let s = self.block_stride();
+        &mut self.data[(block as usize) * s..(block as usize + 1) * s]
+    }
+
+    /// Read-only view of one component within one block (`B³` values,
+    /// contiguous — the coalesced unit).
+    #[inline(always)]
+    pub fn component(&self, block: BlockIdx, comp: usize) -> &[T] {
+        let base = (block as usize) * self.block_stride() + comp * self.cells_per_block;
+        &self.data[base..base + self.cells_per_block]
+    }
+
+    /// Whole backing slice (read).
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Whole backing slice (write): callers chunk it by
+    /// [`Field::block_stride`] for per-block parallel kernels.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Fills every slot with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Heap bytes held by the field (memory-model accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+}
+
+/// Swappable double buffer of fields (pre-/post-streaming populations).
+#[derive(Clone, Debug)]
+pub struct DoubleBuffer<T> {
+    a: Field<T>,
+    b: Field<T>,
+    flipped: bool,
+}
+
+impl<T: Copy> DoubleBuffer<T> {
+    /// Allocates two identical fields.
+    pub fn new(grid: &SparseGrid, q: usize, init: T) -> Self {
+        Self {
+            a: Field::new(grid, q, init),
+            b: Field::new(grid, q, init),
+            flipped: false,
+        }
+    }
+
+    /// Current source (read) field.
+    #[inline(always)]
+    pub fn src(&self) -> &Field<T> {
+        if self.flipped {
+            &self.b
+        } else {
+            &self.a
+        }
+    }
+
+    /// Current destination (write) field.
+    #[inline(always)]
+    pub fn dst_mut(&mut self) -> &mut Field<T> {
+        if self.flipped {
+            &mut self.a
+        } else {
+            &mut self.b
+        }
+    }
+
+    /// Both buffers at once: `(src, dst)`, for kernels that read the source
+    /// of all blocks while writing their own block of the destination.
+    #[inline(always)]
+    pub fn pair_mut(&mut self) -> (&Field<T>, &mut Field<T>) {
+        if self.flipped {
+            (&self.b, &mut self.a)
+        } else {
+            (&self.a, &mut self.b)
+        }
+    }
+
+    /// Read-only view of the destination-side buffer — after a swap this is
+    /// the *previous* source (used by temporal-interpolation schemes that
+    /// need the last two states without extra storage).
+    #[inline(always)]
+    pub fn peek_dst(&self) -> &Field<T> {
+        if self.flipped {
+            &self.a
+        } else {
+            &self.b
+        }
+    }
+
+    /// Mutable access to the source buffer (in-place kernels: collision).
+    #[inline(always)]
+    pub fn src_mut(&mut self) -> &mut Field<T> {
+        if self.flipped {
+            &mut self.b
+        } else {
+            &mut self.a
+        }
+    }
+
+    /// Swaps source and destination.
+    #[inline(always)]
+    pub fn swap(&mut self) {
+        self.flipped = !self.flipped;
+    }
+
+    /// Heap bytes of both buffers.
+    pub fn heap_bytes(&self) -> usize {
+        self.a.heap_bytes() + self.b.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::Box3;
+    use crate::grid::GridBuilder;
+    use crate::sfc::SpaceFillingCurve;
+
+    fn grid() -> SparseGrid {
+        let mut gb = GridBuilder::new(4);
+        gb.activate_box(Box3::from_dims(8, 8, 8));
+        gb.build(SpaceFillingCurve::Morton)
+    }
+
+    #[test]
+    fn layout_is_aosoa() {
+        let g = grid();
+        let f = Field::<f64>::new(&g, 19, 0.0);
+        assert_eq!(f.block_stride(), 19 * 64);
+        assert_eq!(f.num_blocks(), g.num_blocks());
+        // Component slices are contiguous and disjoint per component.
+        assert_eq!(f.index(0, 0, 0), 0);
+        assert_eq!(f.index(0, 0, 63), 63);
+        assert_eq!(f.index(0, 1, 0), 64);
+        assert_eq!(f.index(1, 0, 0), 19 * 64);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let g = grid();
+        let mut f = Field::<f64>::new(&g, 3, 0.0);
+        f.set(2, 1, 7, 42.5);
+        assert_eq!(f.get(2, 1, 7), 42.5);
+        assert_eq!(f.component(2, 1)[7], 42.5);
+        assert_eq!(f.block(2)[64 + 7], 42.5);
+        f.fill(1.0);
+        assert_eq!(f.get(2, 1, 7), 1.0);
+    }
+
+    #[test]
+    fn block_views_are_disjoint_chunks() {
+        let g = grid();
+        let mut f = Field::<u32>::new(&g, 2, 0);
+        let stride = f.block_stride();
+        for (i, chunk) in f.as_mut_slice().chunks_exact_mut(stride).enumerate() {
+            chunk.fill(i as u32);
+        }
+        for b in 0..g.num_blocks() {
+            assert!(f.block(b as BlockIdx).iter().all(|&v| v == b as u32));
+        }
+    }
+
+    #[test]
+    fn double_buffer_swap() {
+        let g = grid();
+        let mut db = DoubleBuffer::<f64>::new(&g, 1, 0.0);
+        db.dst_mut().set(0, 0, 0, 5.0);
+        assert_eq!(db.src().get(0, 0, 0), 0.0);
+        db.swap();
+        assert_eq!(db.src().get(0, 0, 0), 5.0);
+        let (src, dst) = db.pair_mut();
+        assert_eq!(src.get(0, 0, 0), 5.0);
+        dst.set(0, 0, 0, 7.0);
+        db.swap();
+        assert_eq!(db.src().get(0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn heap_accounting() {
+        let g = grid();
+        let f = Field::<f64>::new(&g, 19, 0.0);
+        assert_eq!(f.heap_bytes(), g.num_blocks() * 19 * 64 * 8);
+        let db = DoubleBuffer::<f32>::new(&g, 19, 0.0);
+        assert_eq!(db.heap_bytes(), 2 * g.num_blocks() * 19 * 64 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn rejects_zero_components() {
+        let g = grid();
+        let _ = Field::<f64>::new(&g, 0, 0.0);
+    }
+}

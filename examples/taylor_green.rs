@@ -1,0 +1,56 @@
+//! Taylor–Green vortex: analytic accuracy of the engine, uniform vs
+//! refined (beyond-paper validation — quantifies the accuracy cost of the
+//! level interface against the exact viscous decay law).
+//!
+//! ```text
+//! cargo run --release --example taylor_green [-- N]
+//! ```
+
+use lbm_refinement::core::Variant;
+use lbm_refinement::gpu::{DeviceModel, Executor};
+use lbm_refinement::problems::tgv::{Tgv, TgvConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+
+    println!("Taylor–Green vortex, {n}² × 4 periodic box, BGK/D3Q19");
+    println!("analytic law: KE(t) = KE(0)·exp(−4νk²t)\n");
+    println!("{:>10} {:>14} {:>14} {:>10}", "fine steps", "KE/KE0 (sim)", "KE/KE0 (exact)", "rel err");
+
+    for levels in [1u32, 2] {
+        let tgv = Tgv::new(TgvConfig {
+            n,
+            levels,
+            ..TgvConfig::default()
+        });
+        let mut eng = tgv.engine(Variant::FusedAll, Executor::new(DeviceModel::a100_40gb()));
+        let e0 = Tgv::kinetic_energy(&eng);
+        println!(
+            "-- {} --",
+            if levels == 1 {
+                "uniform".to_string()
+            } else {
+                format!("{levels} levels (central band refined)")
+            }
+        );
+        let chunks = 5;
+        let coarse_per_chunk = 40 / (1 << (levels - 1)).max(1) as usize * (1 << (levels - 1)) as usize / (1 << (levels - 1)) as usize;
+        let mut fine_steps = 0u64;
+        for _ in 0..chunks {
+            eng.run(coarse_per_chunk);
+            fine_steps += (coarse_per_chunk as u64) << (levels - 1);
+            let ratio = Tgv::kinetic_energy(&eng) / e0;
+            let exact = tgv.analytic_ke_ratio(fine_steps);
+            println!(
+                "{fine_steps:>10} {ratio:>14.6} {exact:>14.6} {:>9.2}%",
+                100.0 * (ratio - exact).abs() / exact
+            );
+        }
+    }
+    println!("\nThe interface adds a small first-order dissipation (zeroth-order");
+    println!("time interpolation of the Explosion source, as in the paper's");
+    println!("Algorithm 1); the uniform run tracks the analytic law closely.");
+}

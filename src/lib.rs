@@ -1,0 +1,52 @@
+//! # lbm-refinement
+//!
+//! Rust reproduction of Mahmoud, Salehipour & Meneghin, *Optimized GPU
+//! Implementation of Grid Refinement in Lattice Boltzmann Method*
+//! (IPDPS 2024): a multi-resolution lattice Boltzmann engine with the
+//! paper's kernel-fusion optimizations, executed and metered on a virtual
+//! GPU substrate.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`lattice`] | `lbm-lattice` | velocity sets, BGK/KBC collision, scaling |
+//! | [`sparse`] | `lbm-sparse` | block-sparse grids, AoSoA fields, SFCs |
+//! | [`gpu`] | `lbm-gpu` | virtual GPU executor, counters, device model |
+//! | [`runtime`] | `lbm-runtime` | Neon-like dependency graphs & schedules |
+//! | [`core`] | `lbm-core` | the refinement engine and fusion variants |
+//! | [`problems`] | `lbm-problems` | cavity, sphere, airplane, TGV, Ghia |
+//! | [`compare`] | `lbm-compare` | Palabos-like and waLBerla-like baselines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbm_refinement::core::{AllWalls, Engine, GridSpec, MultiGrid, Variant};
+//! use lbm_refinement::gpu::{DeviceModel, Executor};
+//! use lbm_refinement::lattice::{Bgk, D3Q19};
+//! use lbm_refinement::sparse::Box3;
+//!
+//! // 32³ finest domain with the central region refined 2×.
+//! let spec = GridSpec::new(2, Box3::from_dims(32, 32, 32), |l, p| {
+//!     l == 0 && (4..12).contains(&p.x) && (4..12).contains(&p.y) && (4..12).contains(&p.z)
+//! });
+//! let omega0 = 1.5;
+//! let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, omega0);
+//! let mut engine = Engine::new(
+//!     grid,
+//!     Bgk::new(omega0),
+//!     Variant::FusedAll, // the paper's most optimized configuration
+//!     Executor::new(DeviceModel::a100_40gb()),
+//! );
+//! engine.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
+//! engine.run(10);
+//! assert!(engine.grid.total_mass() > 0.0);
+//! ```
+
+pub use lbm_compare as compare;
+pub use lbm_core as core;
+pub use lbm_gpu as gpu;
+pub use lbm_lattice as lattice;
+pub use lbm_problems as problems;
+pub use lbm_runtime as runtime;
+pub use lbm_sparse as sparse;
