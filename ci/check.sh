@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI runs, runnable locally with `ci/check.sh`.
+#
+# 1. release build + full test suite (the equivalence and conservation
+#    tests are the correctness contract for the streaming fast path);
+# 2. clippy with warnings denied;
+# 3. `report -- bench-json` smoke (regenerates BENCH_streaming.json and
+#    checks it parses; speedup numbers are machine-dependent and NOT
+#    gated — see DESIGN.md §4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+if [[ "${CI_BENCH:-0}" == "1" ]]; then
+    cargo run --release -q -p lbm-bench --bin report -- bench-json
+    python3 -c 'import json; d = json.load(open("BENCH_streaming.json")); print("bench-json ok:", d["stream_kernel"]["speedup_dir_major_vs_general"], "x vs general")'
+fi
+
+echo "ci/check.sh: all checks passed"

@@ -5,15 +5,16 @@
 //! ```
 //!
 //! Experiments: `fig2`, `ghost`, `fig7`, `compare`, `uniform`, `table1`,
-//! `fig9`, `fig1`, or `all`. Sizes default to host-runnable scales
-//! (DESIGN.md §2); `--paper-scale` where supported evaluates the paper's
-//! full-size domains through the memory model.
+//! `fig9`, `fig1`, `bench-json`, or `all`. Sizes default to host-runnable
+//! scales (DESIGN.md §2); `--paper-scale` where supported evaluates the
+//! paper's full-size domains through the memory model. `bench-json` writes
+//! the interior-fast-path comparison to `BENCH_streaming.json`.
 
 use std::time::Instant;
 
-use lbm_bench::{cavity_case, sphere_case, table1_row};
+use lbm_bench::{cavity_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult};
 use lbm_compare::PalabosLike;
-use lbm_core::{alg1_graph, memory_report, step_graph, MultiGrid, Variant};
+use lbm_core::{alg1_graph, memory_report, step_graph, InteriorPath, MultiGrid, Variant};
 use lbm_gpu::{max_uniform_cube, DeviceModel, Executor};
 use lbm_lattice::D3Q19;
 use lbm_problems::airplane::{AirplaneConfig, AirplaneFlow};
@@ -35,6 +36,7 @@ fn main() {
         "table1" => table1(),
         "fig9" => fig9(),
         "fig1" => fig1(paper_scale),
+        "bench-json" => bench_json(),
         "all" => {
             fig2();
             ghost();
@@ -47,7 +49,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 all");
+            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json all");
             std::process::exit(2);
         }
     }
@@ -306,6 +308,137 @@ fn fig9() {
             r.syncs as f64 / r.steps as f64
         );
     }
+}
+
+/// Interior fast-path comparison → `BENCH_streaming.json`.
+///
+/// Runs every [`InteriorPath`] on an interior-dominated uniform cavity
+/// (where the direction-major offset-table path's ≥1.5× measured-MLUPS
+/// target is defined) and on a refined cavity (where the interface
+/// machinery must stay neutral), then writes the machine-readable record
+/// the CI check consumes. Modeled MLUPS must agree across paths: the
+/// device model prices the kernel's declared traffic, which the path
+/// choice does not change.
+fn bench_json() {
+    banner("Interior streaming fast path — BENCH_streaming.json");
+    let paths = [
+        InteriorPath::DirMajor,
+        InteriorPath::CellMajor,
+        InteriorPath::General,
+    ];
+
+    // Headline: the streaming kernel in isolation (collision and interface
+    // kernels are path-independent and would only dilute the ratio),
+    // interleaved best-of-rounds against this machine's timing drift.
+    let (kernel_n, kernel_rounds, kernel_iters) = (128, 6, 6);
+    let kernel = stream_kernel_compare(kernel_n, kernel_rounds, kernel_iters);
+    println!(
+        "\nstream kernel only (uniform box n={kernel_n}, best of {kernel_rounds} \
+         interleaved rounds x {kernel_iters} iters):"
+    );
+    println!("{:<12} {:>12}", "path", "MLUPS");
+    for (p, m) in &kernel {
+        println!("{:<12} {:>12.2}", p.name(), m);
+    }
+    let kget = |p: InteriorPath| kernel.iter().find(|(q, _)| *q == p).unwrap().1;
+    let (kdm, kcm, kgen) = (
+        kget(InteriorPath::DirMajor),
+        kget(InteriorPath::CellMajor),
+        kget(InteriorPath::General),
+    );
+    println!(
+        "dir-major kernel speedup: {:.2}x vs cell-major, {:.2}x vs general",
+        kdm / kcm,
+        kdm / kgen
+    );
+
+    let cases: [(&str, usize, u32, usize); 2] = [("uniform", 64, 1, 12), ("refined", 48, 2, 8)];
+    let case_rounds = 3;
+    let mut case_objs = Vec::new();
+    for (label, n, levels, steps) in cases {
+        // Whole-engine runs are interleaved best-of-rounds for the same
+        // reason the kernel headline is: the collision/interface work that
+        // dilutes the ratio is also what this machine's timing drift hides
+        // behind.
+        let mut results: Vec<(InteriorPath, CaseResult)> = paths
+            .iter()
+            .map(|&p| (p, streaming_case(n, levels, p, 2, steps)))
+            .collect();
+        for _ in 1..case_rounds {
+            for (p, best) in results.iter_mut() {
+                let r = streaming_case(n, levels, *p, 1, steps);
+                if r.measured_mlups > best.measured_mlups {
+                    *best = r;
+                }
+            }
+        }
+        println!(
+            "\n{label} cavity (n={n}, levels={levels}, {steps} steps, best of {case_rounds} rounds):"
+        );
+        println!("{:<12} {:>12} {:>14}", "path", "MLUPS", "modeled MLUPS");
+        for (p, r) in &results {
+            println!(
+                "{:<12} {:>12.2} {:>14.1}",
+                p.name(),
+                r.measured_mlups,
+                r.modeled_mlups
+            );
+        }
+        let get = |p: InteriorPath| &results.iter().find(|(q, _)| *q == p).unwrap().1;
+        let dm = get(InteriorPath::DirMajor);
+        let cm = get(InteriorPath::CellMajor);
+        let gen = get(InteriorPath::General);
+        println!(
+            "dir-major speedup: {:.2}x vs cell-major, {:.2}x vs general \
+             (modeled ratio vs general: {:.3})",
+            dm.measured_mlups / cm.measured_mlups,
+            dm.measured_mlups / gen.measured_mlups,
+            dm.modeled_mlups / gen.modeled_mlups,
+        );
+        let path_objs: Vec<String> = results
+            .iter()
+            .map(|(p, r)| {
+                format!(
+                    "      {{ \"path\": \"{}\", \"measured_mlups\": {:.3}, \
+                     \"modeled_mlups\": {:.3}, \"wall_s\": {:.6} }}",
+                    p.name(),
+                    r.measured_mlups,
+                    r.modeled_mlups,
+                    r.wall.as_secs_f64()
+                )
+            })
+            .collect();
+        case_objs.push(format!(
+            "    {{\n      \"case\": \"{label}\", \"n\": {n}, \"levels\": {levels}, \
+             \"steps\": {steps},\n      \"paths\": [\n{}\n      ],\n      \
+             \"speedup_measured_dir_major_vs_cell_major\": {:.4},\n      \
+             \"speedup_measured_dir_major_vs_general\": {:.4},\n      \
+             \"modeled_ratio_dir_major_vs_general\": {:.4}\n    }}",
+            path_objs.join(",\n"),
+            dm.measured_mlups / cm.measured_mlups,
+            dm.measured_mlups / gen.measured_mlups,
+            dm.modeled_mlups / gen.modeled_mlups,
+        ));
+    }
+    let kernel_objs: Vec<String> = kernel
+        .iter()
+        .map(|(p, m)| format!("      {{ \"path\": \"{}\", \"measured_mlups\": {:.3} }}", p.name(), m))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"streaming_fastpath\",\n  \"device_model\": \"a100_40gb\",\n  \
+         \"stream_kernel\": {{\n    \"case\": \"uniform box n={kernel_n} B=8, stream kernel only, \
+         best of {kernel_rounds} interleaved rounds\",\n    \
+         \"iters\": {kernel_iters},\n    \"paths\": [\n{}\n    ],\n    \
+         \"speedup_dir_major_vs_cell_major\": {:.4},\n    \
+         \"speedup_dir_major_vs_general\": {:.4}\n  }},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        kernel_objs.join(",\n"),
+        kdm / kcm,
+        kdm / kgen,
+        case_objs.join(",\n")
+    );
+    std::fs::write("BENCH_streaming.json", &json).unwrap();
+    println!("\nwrote BENCH_streaming.json");
 }
 
 /// Fig. 1 / §VI-B: airplane-tunnel capacity claim.

@@ -9,6 +9,9 @@
 //! sharing no kernel or data-structure code with `lbm-core` — so agreement
 //! between the two is a strong cross-validation of both (tested below).
 
+// Stencil loops index parallel constant tables throughout.
+#![allow(clippy::needless_range_loop)]
+
 use lbm_core::{Boundary, GridSpec};
 use lbm_lattice::{
     equilibrium, moments, omega_at_level, Bgk, Collision, VelocitySet, MAX_Q,

@@ -21,6 +21,9 @@
 //! Scope: fully periodic uniform domains (exactly what the memory-capacity
 //! comparison needs); runs sequentially on the host.
 
+// Stencil loops index parallel constant tables throughout.
+#![allow(clippy::needless_range_loop)]
+
 use lbm_lattice::{Collision, Real, VelocitySet, MAX_Q};
 use lbm_sparse::{Box3, Coord, Field, GridBuilder, SparseGrid, SpaceFillingCurve};
 
@@ -59,7 +62,7 @@ where
 
     /// Sets every cell to equilibrium (must be called at an even step).
     pub fn init_equilibrium(&mut self, rho: impl Fn(Coord) -> f64, u: impl Fn(Coord) -> [f64; 3]) {
-        assert!(self.steps % 2 == 0, "initialize at even parity");
+        assert!(self.steps.is_multiple_of(2), "initialize at even parity");
         let refs: Vec<_> = self.grid.iter_active().collect();
         for (r, c) in refs {
             let uv = u(c);
@@ -89,7 +92,7 @@ where
 
     /// Advances one time step (even or odd flavor by parity).
     pub fn step(&mut self) {
-        let even = self.steps % 2 == 0;
+        let even = self.steps.is_multiple_of(2);
         let refs: Vec<_> = self.grid.iter_active().collect();
         let mut fl = [T::ZERO; MAX_Q];
         for (r, c) in refs {
@@ -139,7 +142,7 @@ where
     /// Density and velocity at a cell. Only meaningful at even parity
     /// (normal layout).
     pub fn probe(&self, c: Coord) -> Option<(f64, [f64; 3])> {
-        assert!(self.steps % 2 == 0, "probe at even parity (normal layout)");
+        assert!(self.steps.is_multiple_of(2), "probe at even parity (normal layout)");
         let r = self.grid.cell_ref(c)?;
         let mut fl = [T::ZERO; MAX_Q];
         for i in 0..V::Q {

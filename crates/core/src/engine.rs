@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use lbm_gpu::Executor;
 use lbm_lattice::{Collision, Real, VelocitySet};
 
-use crate::kernels::{self, StreamInputs, StreamOptions};
+use crate::kernels::{self, InteriorPath, StreamInputs, StreamOptions};
 use crate::links::LinkKind;
 use crate::multigrid::MultiGrid;
 use crate::variant::Variant;
@@ -57,6 +57,7 @@ pub struct Engine<T: Real, V: VelocitySet, C: Collision<T, V>> {
     explosion_cells: Vec<u64>,
     coalesce_cells: Vec<u64>,
     time_interp: bool,
+    interior_path: InteriorPath,
 }
 
 impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
@@ -92,7 +93,20 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             explosion_cells,
             coalesce_cells,
             time_interp: false,
+            interior_path: InteriorPath::default(),
         }
+    }
+
+    /// Selects the implementation eligible interior blocks use in the
+    /// streaming-family kernels (all paths are bit-identical; the
+    /// non-default paths exist for benchmarking and equivalence testing).
+    pub fn set_interior_path(&mut self, path: InteriorPath) {
+        self.interior_path = path;
+    }
+
+    /// The currently selected interior fast path.
+    pub fn interior_path(&self) -> InteriorPath {
+        self.interior_path
     }
 
     /// Enables the linear-time-interpolation extension (beyond paper): the
@@ -208,6 +222,8 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
                 None
             },
             explosion_blend: blend,
+            offsets: &level.offsets,
+            interior_path: self.interior_path,
         };
 
         if fuse_cs {

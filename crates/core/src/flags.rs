@@ -70,6 +70,14 @@ impl BlockFlags {
     pub const HAS_GHOST: u8 = 1 << 2;
     /// Block contains at least one accumulating cell.
     pub const HAS_ACCUMULATORS: u8 = 1 << 3;
+    /// Every neighbor slot read by the level's streaming offset tables
+    /// ([`lbm_sparse::StreamOffsets::needed_slots`]) maps to an existing
+    /// block — the precondition of the direction-major gather, which
+    /// indexes the neighbor table unconditionally. Set together with
+    /// [`BlockFlags::FULLY_INTERIOR`] by the builder (an interior block
+    /// with a missing neighbor would be a construction bug); kept separate
+    /// so the invariant is explicit and testable.
+    pub const STENCIL_COMPLETE: u8 = 1 << 4;
 
     /// True if `bit` is set.
     #[inline(always)]

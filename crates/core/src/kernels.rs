@@ -13,7 +13,7 @@
 
 use lbm_gpu::{AtomicF64Field, Executor, LaunchCost};
 use lbm_lattice::{Collision, Real, VelocitySet, MAX_Q};
-use lbm_sparse::{Field, SparseGrid};
+use lbm_sparse::{Field, SparseGrid, StreamOffsets, CENTER_SLOT};
 
 use crate::flags::{BlockFlags, CellFlags};
 use crate::level::Level;
@@ -22,6 +22,43 @@ use crate::links::{decode_ref, BlockLinks, LinkKind, NO_TARGET};
 /// Value-size in bytes of the population scalar.
 fn value_bytes<T>() -> u64 {
     std::mem::size_of::<T>() as u64
+}
+
+/// Which implementation eligible (fully-interior, stencil-complete) blocks
+/// use in the streaming-family kernels. Frontier/interface blocks always
+/// take the general per-cell path regardless of this setting.
+///
+/// All three paths are bit-identical by construction (they read the same
+/// source addresses); the equivalence proptest in
+/// `crates/core/tests/fastpath_equivalence.rs` pins that down. The
+/// non-default paths exist for honest benchmarking ([`CellMajor`] is the
+/// pre-offset-table fast path) and for equivalence testing ([`General`]
+/// forces the link-resolving path everywhere).
+///
+/// [`CellMajor`]: InteriorPath::CellMajor
+/// [`General`]: InteriorPath::General
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum InteriorPath {
+    /// Direction-major traversal over precomputed [`StreamOffsets`]
+    /// regions: branch-free contiguous-run copies (the optimized path).
+    #[default]
+    DirMajor,
+    /// Cell-major per-cell pull with inline neighbor resolution (the
+    /// legacy fast path, kept for measured before/after comparisons).
+    CellMajor,
+    /// No fast path: every block runs the general link-resolving loop.
+    General,
+}
+
+impl InteriorPath {
+    /// Stable snake_case label (benchmark reports, JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            InteriorPath::DirMajor => "dir_major",
+            InteriorPath::CellMajor => "cell_major",
+            InteriorPath::General => "general",
+        }
+    }
 }
 
 /// Read-only views of one level needed by the streaming-family kernels.
@@ -50,6 +87,11 @@ pub struct StreamInputs<'a, T> {
     /// at `t + Δt_c/2` uses `(1+b)·f(t) − b·f(t−Δt_c)` with `b = 0.5`;
     /// `b = 0` reproduces the paper's zeroth-order hold.
     pub explosion_blend: f64,
+    /// Precomputed per-direction source decompositions for this level's
+    /// block size (shared per `(block_size, velocity set)` pair).
+    pub offsets: &'a StreamOffsets,
+    /// Fast-path selection for eligible interior blocks.
+    pub interior_path: InteriorPath,
 }
 
 impl<'a, T: Real> StreamInputs<'a, T> {
@@ -71,6 +113,8 @@ impl<'a, T: Real> StreamInputs<'a, T> {
             },
             coarse_prev: None,
             explosion_blend: 0.0,
+            offsets: &level.offsets,
+            interior_path: InteriorPath::default(),
         }
     }
 }
@@ -200,6 +244,63 @@ impl<'a, T: Real> BlockGather<'a, T> {
         };
         self.src_all[base + i * self.cpb + scell]
     }
+
+    /// Direction-major interior gather: for every direction, executes the
+    /// precomputed flattened copy runs of [`StreamOffsets`] into `out`.
+    /// Reads exactly the addresses the per-cell [`BlockGather::pull`]
+    /// would read (the tables are the closed form of its branch chains), so
+    /// the result is bit-identical — but the inner loop is a straight
+    /// `copy_from_slice` with no per-cell branching, which the compiler
+    /// lowers to memcpy/vector moves (the rest direction is a single `B³`
+    /// memcpy). Callers must only use this on blocks whose needed neighbor
+    /// slots all exist ([`BlockFlags::STENCIL_COMPLETE`]).
+    #[inline(always)]
+    fn gather_dir_major(&self, offsets: &StreamOffsets, q: usize, out: &mut [T]) {
+        for i in 0..q {
+            let comp = i * self.cpb;
+            for e in &offsets.dir(i).runs {
+                let src_block = if e.slot == CENTER_SLOT {
+                    self.block_base
+                } else {
+                    let nb = self.neighbors[e.slot as usize];
+                    debug_assert_ne!(
+                        nb,
+                        lbm_sparse::INVALID_BLOCK,
+                        "dir-major gather into missing block"
+                    );
+                    nb as usize * self.stride
+                };
+                let (mut dst, mut src) =
+                    (comp + e.dst_base as usize, src_block + comp + e.src_base as usize);
+                let (len, stride) = (e.len as usize, e.stride as usize);
+                if len == 1 {
+                    // One-cell spill columns (e.g. the x-face of the block):
+                    // a strided scalar loop beats per-element memcpy calls.
+                    for _ in 0..e.count {
+                        out[dst] = self.src_all[src];
+                        dst += stride;
+                        src += stride;
+                    }
+                } else {
+                    for _ in 0..e.count {
+                        out[dst..dst + len].copy_from_slice(&self.src_all[src..src + len]);
+                        dst += stride;
+                        src += stride;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Direction components `e_i` copied into a stack array once per kernel
+/// block, so the per-cell loops index a local instead of re-loading through
+/// the `V::C` static on every cell.
+#[inline(always)]
+fn dir_table<V: VelocitySet>() -> [[i32; 3]; MAX_Q] {
+    let mut c = [[0i32; 3]; MAX_Q];
+    c[..V::Q].copy_from_slice(&V::C[..V::Q]);
+    c
 }
 
 #[inline(always)]
@@ -232,14 +333,9 @@ fn resolve_link<T: Real>(
             }
         }
         LinkKind::Coalesce { src: s, inv_count } => {
-            T::from_f64(acc_load(inp.acc, s.block, dir, s.cell)) * inv_count
+            T::from_f64(inp.acc.load(s.block, dir, s.cell)) * inv_count
         }
     }
-}
-
-#[inline(always)]
-fn acc_load(acc: &AtomicF64Field, block: u32, dir: usize, cell: u32) -> f64 {
-    acc.load(block, dir, cell)
 }
 
 /// Streaming kernel (paper "S"): `dst[x][i] = src[x − e_i][i]` with link
@@ -266,17 +362,24 @@ pub fn stream<T: Real, V: VelocitySet>(
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let g = BlockGather::new(grid, inp.src, b);
         let bsz = grid.block_size() as i32;
-        let fast = inp.block_flags[b as usize].has(BlockFlags::FULLY_INTERIOR);
-        if fast {
-            let mut cell = 0usize;
-            for lz in 0..bsz {
-                for ly in 0..bsz {
-                    for lx in 0..bsz {
-                        out[cell] = g.src_all[g.block_base + cell]; // rest
-                        for i in 1..q {
-                            out[i * cpb + cell] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+        let cdir = dir_table::<V>();
+        if interior_fast_path(inp.block_flags[b as usize], inp.interior_path) {
+            match inp.interior_path {
+                InteriorPath::DirMajor => g.gather_dir_major(inp.offsets, q, out),
+                _ => {
+                    // Legacy cell-major fast path: per-cell pull with
+                    // inline neighbor resolution.
+                    let mut cell = 0usize;
+                    for lz in 0..bsz {
+                        for ly in 0..bsz {
+                            for lx in 0..bsz {
+                                out[cell] = g.src_all[g.block_base + cell]; // rest
+                                for i in 1..q {
+                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
+                                }
+                                cell += 1;
+                            }
                         }
-                        cell += 1;
                     }
                 }
             }
@@ -304,7 +407,7 @@ pub fn stream<T: Real, V: VelocitySet>(
                     match links.of(cell as u32) {
                         None => {
                             for i in 1..q {
-                                out[i * cpb + cell] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                                out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
                             }
                         }
                         Some(set) => {
@@ -325,7 +428,7 @@ pub fn stream<T: Real, V: VelocitySet>(
                                             resolve_link(kind, &inp, b, cell as u32, i);
                                     }
                                 } else {
-                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
                                 }
                             }
                         }
@@ -337,11 +440,15 @@ pub fn stream<T: Real, V: VelocitySet>(
     });
 }
 
-/// Direction components of `e_i` as a plain array (constant-folded after
-/// loop unrolling).
+/// True when `block` may skip the general link-resolving loop under the
+/// selected path: it must be fully interior *and* have every neighbor slot
+/// the offset tables read (the two flags are set together by the builder;
+/// requiring both keeps the invariant explicit at the use site).
 #[inline(always)]
-fn dir_c<V: VelocitySet>(i: usize) -> [i32; 3] {
-    V::C[i]
+fn interior_fast_path(bf: BlockFlags, path: InteriorPath) -> bool {
+    path != InteriorPath::General
+        && bf.has(BlockFlags::FULLY_INTERIOR)
+        && bf.has(BlockFlags::STENCIL_COMPLETE)
 }
 
 /// Separate Explosion kernel (paper "E", baseline variants): fills the
@@ -364,6 +471,9 @@ pub fn explosion<T: Real, V: VelocitySet>(
     // block metadata — the paper's point about unfused kernels.
     let cost = LaunchCost::per_cell(interface_cells, q as u64, q as u64, 0, value_bytes::<T>())
         .with_thread_block(cpb);
+    // Unlike stream/fused_stream_collide there is no `V::C` table to hoist
+    // here: the kernel walks precomputed link sets and never consults
+    // direction components.
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let links = &inp.links[b as usize];
         for set in &links.cells {
@@ -538,7 +648,40 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
         let blk = grid.block(b);
         let g = BlockGather::new(grid, inp.src, b);
         let bsz = grid.block_size() as i32;
-        let fast = inp.block_flags[b as usize].has(BlockFlags::FULLY_INTERIOR);
+        let cdir = dir_table::<V>();
+        if interior_fast_path(inp.block_flags[b as usize], inp.interior_path) {
+            // Fully-interior blocks hold only real cells with no links and
+            // no accumulating cells (their `acc_target` entry is `None`),
+            // so the fused kernel reduces to gather + in-place collide.
+            match inp.interior_path {
+                InteriorPath::DirMajor => g.gather_dir_major(inp.offsets, q, out),
+                _ => {
+                    let mut cell = 0usize;
+                    for lz in 0..bsz {
+                        for ly in 0..bsz {
+                            for lx in 0..bsz {
+                                out[cell] = g.src_all[g.block_base + cell]; // rest
+                                for i in 1..q {
+                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
+                                }
+                                cell += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for cell in 0..cpb {
+                let mut f = [T::ZERO; MAX_Q];
+                for i in 0..q {
+                    f[i] = out[i * cpb + cell];
+                }
+                op.collide(&mut f);
+                for i in 0..q {
+                    out[i * cpb + cell] = f[i];
+                }
+            }
+            return;
+        }
         let links = &inp.links[b as usize];
         let flags = inp.flags.component(b, 0);
         let tables = accumulate.filter(|t| t.targets[b as usize].is_some());
@@ -547,7 +690,7 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
             for ly in 0..bsz {
                 for lx in 0..bsz {
                     let cf = CellFlags(flags[cell]);
-                    if !fast && (!blk.active.get(cell) || !cf.is_real()) {
+                    if !blk.active.get(cell) || !cf.is_real() {
                         cell += 1;
                         continue;
                     }
@@ -561,7 +704,7 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
                     match links.of(cell as u32) {
                         None => {
                             for i in 1..q {
-                                f[i] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                                f[i] = g.pull(lx, ly, lz, i, cdir[i]);
                             }
                         }
                         Some(set) => {
@@ -572,7 +715,7 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
                                     li += 1;
                                     f[i] = resolve_link(kind, &inp, b, cell as u32, i);
                                 } else {
-                                    f[i] = g.pull(lx, ly, lz, i, dir_c::<V>(i));
+                                    f[i] = g.pull(lx, ly, lz, i, cdir[i]);
                                 }
                             }
                         }

@@ -4,9 +4,11 @@
 //! `L_max` block sparse data structures", extended with the indices needed
 //! to reach interface cells at other resolutions).
 
+use std::sync::Arc;
+
 use lbm_gpu::AtomicF64Field;
 use lbm_lattice::Real;
-use lbm_sparse::{BlockIdx, CellRef, Coord, DoubleBuffer, Field, SparseGrid};
+use lbm_sparse::{BlockIdx, CellRef, Coord, DoubleBuffer, Field, SparseGrid, StreamOffsets};
 
 use crate::flags::{BlockFlags, CellFlags};
 use crate::links::BlockLinks;
@@ -49,6 +51,9 @@ pub struct Level<T> {
     pub acc_dirs: Vec<Option<Box<[u32]>>>,
     /// Per-block gather entries (this level being the coarse side).
     pub gather: Vec<Vec<GatherEntry>>,
+    /// Precomputed streaming offset tables for this level's block size and
+    /// velocity set (process-wide shared per `(B, velocity set)` pair).
+    pub offsets: Arc<StreamOffsets>,
     /// Double-buffered populations, **post-collision convention**: `src()`
     /// holds post-collision values of the level's current time.
     pub f: DoubleBuffer<T>,

@@ -38,6 +38,7 @@ pub use aa::AaSolver;
 pub use boundary::{AllWalls, Boundary, BoundarySpec};
 pub use engine::Engine;
 pub use graphs::{alg1_graph, step_graph};
+pub use kernels::InteriorPath;
 pub use level::Level;
 pub use memory_report::{plan_hypothetical, report, MemoryReport};
 pub use multigrid::MultiGrid;

@@ -21,7 +21,7 @@ use std::marker::PhantomData;
 
 use lbm_gpu::AtomicF64Field;
 use lbm_lattice::{equilibrium, moments, omega_at_level, Real, VelocitySet, MAX_Q};
-use lbm_sparse::{Coord, DoubleBuffer, Field, GridBuilder, SparseGrid};
+use lbm_sparse::{Coord, DoubleBuffer, Field, GridBuilder, SparseGrid, StreamOffsets};
 
 use crate::boundary::{Boundary, BoundarySpec};
 use crate::flags::{BlockFlags, CellFlags};
@@ -283,7 +283,10 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
                 }
             }
 
-            // Block summaries.
+            // Block summaries. The streaming offset tables are shared
+            // process-wide per (block size, velocity set) pair; here they
+            // also supply the slot set for stencil-completeness tagging.
+            let offsets = StreamOffsets::cached(grid.block_size() as u32, V::C);
             let mut block_flags = Vec::with_capacity(grid.num_blocks());
             let mut real_cells = 0usize;
             let mut ghost_cells = 0usize;
@@ -308,8 +311,18 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
                         interior = false;
                     }
                 }
+                if offsets.stencil_complete(&blk.neighbors) {
+                    bf |= BlockFlags::STENCIL_COMPLETE;
+                }
                 if interior {
                     bf |= BlockFlags::FULLY_INTERIOR;
+                    // An interior block pulls from all 26 neighbors with no
+                    // links to redirect a missing one — the grid
+                    // construction must have allocated them.
+                    assert!(
+                        bf & BlockFlags::STENCIL_COMPLETE != 0,
+                        "fully-interior block {bi} at level {l} has a missing stencil neighbor"
+                    );
                 }
                 block_flags.push(BlockFlags(bf));
             }
@@ -324,6 +337,7 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
                 acc_target,
                 acc_dirs,
                 gather,
+                offsets,
                 f,
                 acc,
                 omega: omega_at_level(omega0, l),
@@ -475,6 +489,7 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
                 ];
                 let mut feq = [T::ZERO; MAX_Q];
                 equilibrium::<T, V>(rv, uvt, &mut feq);
+                #[allow(clippy::needless_range_loop)] // parallel table indexing
                 for i in 0..V::Q {
                     // Fill both buffer halves so schemes reading the
                     // previous state (temporal interpolation) see a
@@ -492,6 +507,7 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
     pub fn density_velocity(&self, level: usize, r: lbm_sparse::CellRef) -> (T, [T; 3]) {
         let f = self.levels[level].f.src();
         let mut pops = [T::ZERO; MAX_Q];
+        #[allow(clippy::needless_range_loop)] // parallel table indexing
         for i in 0..V::Q {
             pops[i] = f.get(r.block, i, r.cell);
         }
@@ -540,6 +556,7 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
             for (r, _) in level.iter_real() {
                 for i in 0..V::Q {
                     let v = f.get(r.block, i, r.cell).to_f64();
+                    #[allow(clippy::needless_range_loop)] // indexes a fixed [f64; 3]
                     for a in 0..3 {
                         total[a] += v * V::C[i][a] as f64 * vol;
                     }

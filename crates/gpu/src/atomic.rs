@@ -65,12 +65,47 @@ impl AtomicF64Field {
     /// Atomically adds `v` (emulating CUDA `atomicAdd(double*)`).
     #[inline(always)]
     pub fn add(&self, block: u32, comp: usize, cell: u32, v: f64) {
+        self.fetch_add(block, comp, cell, v);
+    }
+
+    /// Atomically adds `v` and returns the slot's previous value — the
+    /// same contract as CUDA's `atomicAdd(double*)`.
+    ///
+    /// # Memory-ordering audit
+    ///
+    /// Every operation in the CAS loop is `Relaxed`, and that is sound
+    /// here because the accumulators are used *only* for commutative,
+    /// associative accumulation within one kernel launch:
+    ///
+    /// - **Per-slot atomicity is ordering-free.** The read-modify-write
+    ///   below is a single-location update; atomicity (no lost updates)
+    ///   is guaranteed by `compare_exchange_weak` itself regardless of
+    ///   ordering, and the modification order of one atomic location is
+    ///   total even under `Relaxed`. Since `a + b + c` is independent of
+    ///   arrival order (up to the float non-associativity that real GPU
+    ///   atomics exhibit identically), no writer needs to observe another
+    ///   writer's effect in any particular order.
+    /// - **No cross-location publication.** A `Release`/`Acquire` pair is
+    ///   only needed when an atomic write *publishes* other (non-atomic)
+    ///   memory to a reader. Accumulate never does that: writers touch
+    ///   nothing the subsequent reader consumes except the slot itself.
+    /// - **Readers are synchronized by the kernel boundary.** Coalescence
+    ///   reads accumulators only in a *later* launch; the executor joins
+    ///   all worker threads between launches (`std::thread` join provides
+    ///   the happens-before edge), so readers see every contribution
+    ///   without any ordering on the loads — which is also why
+    ///   [`Self::load`]/[`Self::store`] are `Relaxed`.
+    ///
+    /// Using `AcqRel` here would add fence traffic on weakly-ordered
+    /// hardware for no additional guarantee.
+    #[inline(always)]
+    pub fn fetch_add(&self, block: u32, comp: usize, cell: u32, v: f64) -> f64 {
         let slot = &self.data[self.idx(block, comp, cell)];
         let mut cur = slot.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();
             match slot.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => return,
+                Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }
         }
@@ -118,6 +153,40 @@ mod tests {
         f.reset();
         assert_eq!(f.load(1, 2, 5), 0.0);
         assert_eq!(f.load(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous_value() {
+        let f = AtomicF64Field::new(1, 1, 2);
+        assert_eq!(f.fetch_add(0, 0, 0, 1.5), 0.0);
+        assert_eq!(f.fetch_add(0, 0, 0, 2.0), 1.5);
+        assert_eq!(f.load(0, 0, 0), 3.5);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_observes_distinct_previous_values() {
+        // With a constant increment, the set of returned previous values
+        // must be exactly {0, d, 2d, …, (N−1)d} — each CAS publishes one
+        // unique point on the slot's modification order.
+        let f = AtomicF64Field::new(1, 1, 1);
+        let n = 512;
+        let seen = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    for _ in 0..n {
+                        local.push(f.fetch_add(0, 0, 0, 1.0));
+                    }
+                    seen.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = seen.into_inner().unwrap();
+        all.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = (0..8 * n).map(|i| i as f64).collect();
+        assert_eq!(all, expect);
+        assert_eq!(f.load(0, 0, 0), (8 * n) as f64);
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl Executor {
         T: Send,
         F: Fn(u32, &mut [T]) + Sync,
     {
-        assert!(stride > 0 && data.len() % stride == 0, "data not block-aligned");
+        assert!(stride > 0 && data.len().is_multiple_of(stride), "data not block-aligned");
         let t0 = Instant::now();
         if self.parallel {
             data.par_chunks_exact_mut(stride)
@@ -119,6 +119,7 @@ impl Executor {
     /// per-block chunks (e.g. fused kernels writing populations and a
     /// macroscopic field). The closure receives
     /// `(block_index, chunk_a, chunk_b)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn launch_mut2<T, U, F>(
         &self,
         name: &'static str,
@@ -133,8 +134,8 @@ impl Executor {
         U: Send,
         F: Fn(u32, &mut [T], &mut [U]) + Sync,
     {
-        assert!(stride_a > 0 && a.len() % stride_a == 0, "a not block-aligned");
-        assert!(stride_b > 0 && b.len() % stride_b == 0, "b not block-aligned");
+        assert!(stride_a > 0 && a.len().is_multiple_of(stride_a), "a not block-aligned");
+        assert!(stride_b > 0 && b.len().is_multiple_of(stride_b), "b not block-aligned");
         assert_eq!(a.len() / stride_a, b.len() / stride_b, "block count mismatch");
         let t0 = Instant::now();
         if self.parallel {

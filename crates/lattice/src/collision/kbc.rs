@@ -80,6 +80,7 @@ impl<T: Real, V: VelocitySet> Collision<T, V> for Kbc<T> {
         let half_inv_cs4 = T::from_f64(0.5 / (V::CS2 * V::CS2));
         let two = T::from_f64(2.0);
         let mut ds = [T::ZERO; MAX_Q];
+        #[allow(clippy::needless_range_loop)] // indexes parallel constant tables
         for i in 0..V::Q {
             let c = V::C[i];
             let (cx, cy, cz) = (c[0] as f64, c[1] as f64, c[2] as f64);

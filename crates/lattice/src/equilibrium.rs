@@ -16,6 +16,7 @@ pub fn equilibrium<T: Real, V: VelocitySet>(rho: T, u: [T; 3], out: &mut [T; MAX
     let half_inv_cs2 = T::from_f64(0.5 / V::CS2);
     let usq = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
     let common = T::ONE - half_inv_cs2 * usq;
+    #[allow(clippy::needless_range_loop)] // indexes parallel constant tables
     for i in 0..V::Q {
         let cu = ci_dot_u::<T, V>(i, u);
         let w = T::from_f64(V::W[i]);

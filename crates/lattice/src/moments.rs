@@ -7,6 +7,7 @@ use crate::velocity_set::VelocitySet;
 #[inline(always)]
 pub fn density<T: Real, V: VelocitySet>(f: &[T]) -> T {
     let mut rho = T::ZERO;
+    #[allow(clippy::needless_range_loop)] // f.len() may exceed V::Q
     for i in 0..V::Q {
         rho += f[i];
     }
@@ -20,6 +21,7 @@ pub fn density<T: Real, V: VelocitySet>(f: &[T]) -> T {
 #[inline(always)]
 pub fn momentum<T: Real, V: VelocitySet>(f: &[T]) -> [T; 3] {
     let mut m = [T::ZERO; 3];
+    #[allow(clippy::needless_range_loop)] // indexes parallel constant tables
     for i in 0..V::Q {
         let c = V::C[i];
         m[0] += T::from_f64(c[0] as f64) * f[i];
@@ -52,6 +54,7 @@ pub fn pressure<T: Real, V: VelocitySet>(rho: T) -> T {
 #[inline(always)]
 pub fn second_moment<T: Real, V: VelocitySet>(f: &[T]) -> [T; 6] {
     let mut pi = [T::ZERO; 6];
+    #[allow(clippy::needless_range_loop)] // indexes parallel constant tables
     for i in 0..V::Q {
         let c = V::C[i];
         let (cx, cy, cz) = (c[0], c[1], c[2]);

@@ -136,6 +136,7 @@ impl Cavity {
     /// Extracts the normalized centerline profiles of Fig. 7:
     /// `u/u_lid` along the vertical centerline and `v/u_lid` along the
     /// horizontal centerline (z midplane).
+    #[allow(clippy::type_complexity)]
     pub fn profiles(&self, eng: &CavityEngine) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
         let n = self.config.n_finest as i32;
         let zc = if self.config.quasi_2d {

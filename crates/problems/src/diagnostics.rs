@@ -17,6 +17,7 @@ pub fn kinetic_energy<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> f64 {
         let f = level.f.src();
         for (r, _) in level.iter_real() {
             let mut pops = [T::ZERO; MAX_Q];
+            #[allow(clippy::needless_range_loop)] // pops is MAX_Q-sized, reads V::Q
             for i in 0..V::Q {
                 pops[i] = f.get(r.block, i, r.cell);
             }
@@ -36,6 +37,7 @@ pub fn max_speed<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> f64 {
         let f = level.f.src();
         for (r, _) in level.iter_real() {
             let mut pops = [T::ZERO; MAX_Q];
+            #[allow(clippy::needless_range_loop)] // pops is MAX_Q-sized, reads V::Q
             for i in 0..V::Q {
                 pops[i] = f.get(r.block, i, r.cell);
             }

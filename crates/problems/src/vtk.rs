@@ -68,6 +68,7 @@ pub fn write_level<T: Real, V: VelocitySet>(
                 match lvl.grid.cell_ref(c) {
                     Some(r) if lvl.cell_flags(r).is_real() => {
                         let mut pops = [T::ZERO; MAX_Q];
+                        #[allow(clippy::needless_range_loop)] // pops is MAX_Q-sized, reads V::Q
                         for i in 0..V::Q {
                             pops[i] = f.get(r.block, i, r.cell);
                         }

@@ -264,7 +264,7 @@ impl GridBuilder {
     /// Starts a builder with `B = block_size` (power of two, ≥ 2).
     pub fn new(block_size: usize) -> Self {
         assert!(
-            block_size.is_power_of_two() && block_size >= 2 && block_size <= 64,
+            block_size.is_power_of_two() && (2..=64).contains(&block_size),
             "block size must be a power of two in [2, 64], got {block_size}"
         );
         Self {

@@ -8,7 +8,9 @@
 //! - [`bitmask`]: per-block active-cell masks;
 //! - [`sfc`]: Sweep / Morton / Hilbert block ordering;
 //! - [`grid`]: the block-sparse grid topology with 27-slot neighbor tables;
-//! - [`field`]: AoSoA per-block field storage and double buffering.
+//! - [`field`]: AoSoA per-block field storage and double buffering;
+//! - [`offsets`]: precomputed per-direction streaming source decompositions
+//!   (the branch-free direction-major gather tables).
 
 #![warn(missing_docs)]
 
@@ -16,10 +18,12 @@ pub mod bitmask;
 pub mod coords;
 pub mod field;
 pub mod grid;
+pub mod offsets;
 pub mod sfc;
 
 pub use bitmask::BitMask;
 pub use coords::{Box3, Coord};
 pub use field::{DoubleBuffer, Field};
 pub use grid::{dir_slot, Block, BlockIdx, CellRef, GridBuilder, SparseGrid, INVALID_BLOCK};
+pub use offsets::{CopyRun, DirOffsets, DirRegion, StreamOffsets, CENTER_SLOT};
 pub use sfc::SpaceFillingCurve;

@@ -20,7 +20,7 @@ impl SpaceFillingCurve {
     /// Sort key for a non-negative coordinate where every component fits in
     /// `bits` bits (`bits ≤ 21` so three interleaved components fit in u64).
     pub fn key(&self, c: Coord, bits: u32) -> u64 {
-        assert!(bits >= 1 && bits <= 21, "bits {bits} out of range");
+        assert!((1..=21).contains(&bits), "bits {bits} out of range");
         let (x, y, z) = (c.x as u64, c.y as u64, c.z as u64);
         debug_assert!(
             c.x >= 0 && c.y >= 0 && c.z >= 0,

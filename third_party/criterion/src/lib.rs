@@ -1,0 +1,357 @@
+//! Offline shim of the criterion API subset this workspace uses (see
+//! `third_party/README.md`).
+//!
+//! Implements `criterion_group!`/`criterion_main!`, benchmark groups with
+//! throughput annotation, and the `iter`/`iter_batched_ref` timing loops.
+//! Semantics mirror upstream where it matters for this workspace:
+//!
+//! - Invoked by `cargo bench`, binaries receive `--bench` and run the full
+//!   measurement loop (warm-up, calibrated samples, mean/min report).
+//! - Invoked by `cargo test`, the `--bench` flag is absent and every
+//!   benchmark body runs exactly once as a smoke test, keeping the tier-1
+//!   test suite fast.
+//!
+//! No HTML reports or statistical regression machinery — results print as
+//! one line per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched`-style loops amortize setup cost. The shim times the
+/// routine per batch element regardless of variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state; upstream batches many per sample.
+    SmallInput,
+    /// Large per-iteration state; upstream batches few per sample.
+    LargeInput,
+    /// Fresh state every iteration.
+    PerIteration,
+}
+
+/// Work performed per benchmark iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter component, e.g. `new("stream", "B=8")`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name, param: None }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to the target; its absence means
+        // we are running under `cargo test` and should only smoke-test.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self {
+            measurement_time: Duration::from_secs(2),
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim only keys off `--bench`
+    /// (already handled in `default()`), so this is identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// per-benchmark, so this is a no-op marker).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            quick: self.criterion.quick,
+            budget: self.criterion.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.label());
+        if bencher.quick {
+            println!("{label}: ok (smoke)");
+            return;
+        }
+        let mean = bencher.mean_ns();
+        let min = bencher
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / mean / (1u64 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("{label}: mean {mean:.1} ns/iter (min {min:.1}){rate}");
+    }
+}
+
+/// Passed to benchmark closures; owns the timing loop.
+pub struct Bencher {
+    quick: bool,
+    budget: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over calibrated batches of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        let per_iter = Self::calibrate(|n| {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            t.elapsed()
+        });
+        let iters = self.iters_per_sample(per_iter);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` against fresh state from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        if self.quick {
+            let mut input = setup();
+            black_box(routine(&mut input));
+            return;
+        }
+        let mut measured = |n: u64| {
+            let mut inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in &mut inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t.elapsed();
+            drop(inputs);
+            elapsed
+        };
+        let per_iter = Self::calibrate(&mut measured);
+        let iters = self.iters_per_sample(per_iter);
+        for _ in 0..self.sample_size {
+            self.samples
+                .push(measured(iters).as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Doubles the batch size until a batch takes ≥ 2 ms, returning the
+    /// estimated seconds per iteration (also serves as warm-up).
+    fn calibrate(mut run: impl FnMut(u64) -> Duration) -> f64 {
+        let mut n = 1u64;
+        loop {
+            let elapsed = run(n);
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 20 {
+                return (elapsed.as_secs_f64() / n as f64).max(1e-12);
+            }
+            n *= 2;
+        }
+    }
+
+    fn iters_per_sample(&self, per_iter_secs: f64) -> u64 {
+        let per_sample = self.budget.as_secs_f64() / self.sample_size as f64;
+        ((per_sample / per_iter_secs) as u64).clamp(1, 1 << 24)
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-target `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_secs(1),
+            quick: true,
+        };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("one", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(40),
+            quick: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        group.bench_function("spin", |b| b.iter(|| black_box(3u64.pow(7))));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8u32, |b, &n| {
+            b.iter_batched_ref(|| vec![0u8; n as usize], |v| v.fill(1), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline shim of the small rayon API surface this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! minimal, API-compatible implementations of its external dependencies
+//! (see `third_party/README.md`). This crate provides *real* data
+//! parallelism — work is split over `std::thread::scope` threads — for the
+//! three patterns `lbm-gpu`'s executor relies on:
+//!
+//! - `(range).into_par_iter().for_each(f)`
+//! - `slice.par_chunks_exact_mut(n).enumerate().for_each(f)`
+//! - `a.par_chunks_exact_mut(n).zip(b.par_chunks_exact_mut(m)).enumerate()`
+//!
+//! Scheduling is static (each worker takes a contiguous span of items),
+//! which is a good fit for the executor's uniform per-block workloads; the
+//! upstream crate's work stealing only matters for irregular tasks.
+
+use std::num::NonZeroUsize;
+
+/// The rayon prelude: parallel-iterator traits.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set, else the host's
+/// available parallelism.
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f(start..end)` for a contiguous partition of `0..len` on the
+/// worker pool, passing each worker its span.
+fn split_spans<F: Fn(usize, usize) + Sync>(len: usize, f: F) {
+    let workers = num_threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(len);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || f(lo, hi));
+        }
+    });
+}
+
+/// A parallel iterator over exactly-sized items.
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Consumes the iterator, applying `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send;
+}
+
+/// Parallel iterators with a known length that support indexed adaptors.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Yields the item at `index`. Each index is consumed exactly once.
+    ///
+    /// # Safety-by-contract
+    /// Implementations hand out disjoint items for distinct indices, which
+    /// is what makes the `&mut` chunk adaptors sound.
+    fn pi_item(&self, index: usize) -> Self::Item;
+
+    /// Pairs items positionally with another indexed iterator, truncating
+    /// to the shorter length.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+}
+
+/// Conversion into a parallel iterator (ranges, collections).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Clone, Debug)]
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeParIter {
+                    start: self.start,
+                    len: (self.end.max(self.start) - self.start) as usize,
+                }
+            }
+        }
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+            fn for_each<F>(self, f: F)
+            where
+                F: Fn(Self::Item) + Sync + Send,
+            {
+                let start = self.start;
+                split_spans(self.len, |lo, hi| {
+                    for i in lo..hi {
+                        f(start + i as $t);
+                    }
+                });
+            }
+        }
+        impl IndexedParallelIterator for RangeParIter<$t> {
+            fn pi_len(&self) -> usize {
+                self.len
+            }
+            fn pi_item(&self, index: usize) -> Self::Item {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32);
+
+/// Parallel iterator over disjoint `&mut` chunks of a slice.
+pub struct ChunksExactMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: distinct indices map to disjoint chunks, and the struct owns the
+// unique borrow of the underlying slice for 'a.
+unsafe impl<T: Send> Send for ChunksExactMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksExactMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ChunksExactMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let this = &self;
+        split_spans(self.pi_len(), |lo, hi| {
+            for i in lo..hi {
+                f(this.pi_item(i));
+            }
+        });
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksExactMut<'a, T> {
+    fn pi_len(&self) -> usize {
+        self.len / self.chunk
+    }
+
+    fn pi_item(&self, index: usize) -> Self::Item {
+        debug_assert!(index < self.pi_len());
+        // SAFETY: chunks [index*chunk, (index+1)*chunk) are in-bounds and
+        // disjoint for distinct indices; the unique borrow lives for 'a.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(index * self.chunk), self.chunk)
+        }
+    }
+}
+
+/// Mutable-slice parallel adaptors.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping `chunk_size`-sized mutable
+    /// chunks, ignoring a trailing remainder.
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksExactMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Positional pairing of two indexed parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator + Sync,
+    B: IndexedParallelIterator + Sync,
+{
+    type Item = (A::Item, B::Item);
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let this = &self;
+        split_spans(self.pi_len(), |lo, hi| {
+            for i in lo..hi {
+                f(this.pi_item(i));
+            }
+        });
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator + Sync,
+    B: IndexedParallelIterator + Sync,
+{
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_item(&self, index: usize) -> Self::Item {
+        (self.a.pi_item(index), self.b.pi_item(index))
+    }
+}
+
+/// Index-attaching adaptor.
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator + Sync,
+{
+    type Item = (usize, I::Item);
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let this = &self;
+        split_spans(self.inner.pi_len(), |lo, hi| {
+            for i in lo..hi {
+                f((i, this.inner.pi_item(i)));
+            }
+        });
+    }
+}
+
+impl<I> IndexedParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator + Sync,
+{
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_item(&self, index: usize) -> Self::Item {
+        (index, self.inner.pi_item(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_for_each_visits_all() {
+        let sum = AtomicU64::new(0);
+        (0u32..1000).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn chunks_exact_mut_disjoint_and_complete() {
+        let mut data = vec![0u32; 64 * 7];
+        data.par_chunks_exact_mut(7)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u32));
+        for (i, c) in data.chunks_exact(7).enumerate() {
+            assert!(c.iter().all(|&v| v == i as u32));
+        }
+    }
+
+    #[test]
+    fn chunks_ignore_remainder() {
+        let mut data = vec![1u8; 10];
+        data.par_chunks_exact_mut(4).for_each(|c| c.fill(0));
+        assert_eq!(&data[8..], &[1, 1], "remainder untouched");
+        assert!(data[..8].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn zip_enumerate_matches_serial() {
+        let mut a = vec![0u32; 6 * 4];
+        let mut b = vec![0f64; 6 * 2];
+        a.par_chunks_exact_mut(4)
+            .zip(b.par_chunks_exact_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca.fill(i as u32);
+                cb.fill(i as f64);
+            });
+        assert_eq!(a[5 * 4], 5);
+        assert_eq!(b[5 * 2], 5.0);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        (0u32..0).into_par_iter().for_each(|_| panic!("no items"));
+    }
+}
