@@ -6,7 +6,11 @@
 # 2. clippy with warnings denied;
 # 3. `report -- bench-json` smoke (regenerates BENCH_streaming.json and
 #    checks it parses; speedup numbers are machine-dependent and NOT
-#    gated — see DESIGN.md §4).
+#    gated — see DESIGN.md §4);
+# 4. `report -- graph` smoke: regenerates BENCH_graph.json and the chrome
+#    trace, and asserts the measured graph-mode sync count equals the
+#    schedule's (`sync_match`) — that one IS gated, it is a correctness
+#    property of the wave scheduler, not a performance number.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +21,17 @@ cargo clippy --workspace -- -D warnings
 if [[ "${CI_BENCH:-0}" == "1" ]]; then
     cargo run --release -q -p lbm-bench --bin report -- bench-json
     python3 -c 'import json; d = json.load(open("BENCH_streaming.json")); print("bench-json ok:", d["stream_kernel"]["speedup_dir_major_vs_general"], "x vs general")'
+    cargo run --release -q -p lbm-bench --bin report -- graph
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_graph.json"))
+for c in d["cases"]:
+    assert c["sync_match"], f"graph-mode sync count != schedule sync count: {c}"
+    assert c["wave_match"], f"graph-mode wave count != schedule wave count: {c}"
+t = json.load(open("BENCH_graph_trace.json"))
+assert t["traceEvents"], "chrome trace has no spans"
+print("graph ok:", len(d["cases"]), "cases sync-matched,", len(t["traceEvents"]), "trace spans")
+EOF
 fi
 
 echo "ci/check.sh: all checks passed"

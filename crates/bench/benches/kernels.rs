@@ -70,12 +70,10 @@ fn collision_ops(c: &mut Criterion) {
 fn engine(n: usize, variant: Variant) -> Engine<f64, D3Q19, Bgk<f64>> {
     let spec = GridSpec::uniform(Box3::from_dims(n, n, n)).with_block_size(8);
     let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, 1.6);
-    let mut eng = Engine::new(
-        grid,
-        Bgk::new(1.6),
-        variant,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.6))
+        .variant(variant)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.01, 0.0, 0.0]);
     eng
 }

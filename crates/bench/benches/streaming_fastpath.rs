@@ -33,11 +33,11 @@ fn streaming_fastpath(c: &mut Criterion) {
                 block_size: 8,
                 ..Default::default()
             });
-            let mut eng = cavity.engine(
+            let mut eng = cavity.engine_with(
                 lbm_core::Variant::FusedAll,
                 lbm_gpu::Executor::new(lbm_gpu::DeviceModel::a100_40gb()),
+                |b| b.interior_path(path),
             );
-            eng.set_interior_path(path);
             eng.run(1); // warm the fields
             group.throughput(Throughput::Elements(eng.work_per_coarse_step()));
             group.bench_with_input(BenchmarkId::new(path.name(), label), &(), |b, _| {

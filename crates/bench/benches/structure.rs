@@ -22,12 +22,10 @@ fn sphereish_spec(curve: SpaceFillingCurve, block: usize) -> GridSpec {
 
 fn engine(curve: SpaceFillingCurve, block: usize, variant: Variant) -> Engine<f64, D3Q19, Bgk<f64>> {
     let grid = MultiGrid::<f64, D3Q19>::build(sphereish_spec(curve, block), &AllWalls, 1.6);
-    let mut eng = Engine::new(
-        grid,
-        Bgk::new(1.6),
-        variant,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.6))
+        .variant(variant)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.02, 0.0, 0.0]);
     eng
 }

@@ -5,16 +5,19 @@
 //! ```
 //!
 //! Experiments: `fig2`, `ghost`, `fig7`, `compare`, `uniform`, `table1`,
-//! `fig9`, `fig1`, `bench-json`, or `all`. Sizes default to host-runnable
-//! scales (DESIGN.md §2); `--paper-scale` where supported evaluates the
-//! paper's full-size domains through the memory model. `bench-json` writes
-//! the interior-fast-path comparison to `BENCH_streaming.json`.
+//! `fig9`, `fig1`, `bench-json`, `graph`, or `all`. Sizes default to
+//! host-runnable scales (DESIGN.md §2); `--paper-scale` where supported
+//! evaluates the paper's full-size domains through the memory model.
+//! `bench-json` writes the interior-fast-path comparison to
+//! `BENCH_streaming.json`; `graph` compares eager vs wave-scheduled
+//! execution and writes `BENCH_graph.json` plus a chrome://tracing file
+//! `BENCH_graph_trace.json`.
 
 use std::time::Instant;
 
-use lbm_bench::{cavity_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult};
+use lbm_bench::{cavity_case, graph_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult};
 use lbm_compare::PalabosLike;
-use lbm_core::{alg1_graph, memory_report, step_graph, InteriorPath, MultiGrid, Variant};
+use lbm_core::{alg1_graph, memory_report, step_graph, ExecMode, InteriorPath, MultiGrid, Variant};
 use lbm_gpu::{max_uniform_cube, DeviceModel, Executor};
 use lbm_lattice::D3Q19;
 use lbm_problems::airplane::{AirplaneConfig, AirplaneFlow};
@@ -37,6 +40,7 @@ fn main() {
         "fig9" => fig9(),
         "fig1" => fig1(paper_scale),
         "bench-json" => bench_json(),
+        "graph" => graph_report(),
         "all" => {
             fig2();
             ghost();
@@ -49,7 +53,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json all");
+            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph all");
             std::process::exit(2);
         }
     }
@@ -439,6 +443,120 @@ fn bench_json() {
     );
     std::fs::write("BENCH_streaming.json", &json).unwrap();
     println!("\nwrote BENCH_streaming.json");
+}
+
+/// Eager vs wave-scheduled graph execution → `BENCH_graph.json` and the
+/// chrome://tracing span file `BENCH_graph_trace.json`.
+///
+/// Both modes execute the same unified step program; the graph mode
+/// replaces the per-kernel barriers with the `Schedule::from_graph` wave
+/// plan, so its measured sync count per step must equal the schedule's —
+/// the CI smoke check asserts the `sync_match` field this writes.
+fn graph_report() {
+    banner("Graph execution — eager vs wave-scheduled (BENCH_graph.json)");
+    let (n, levels, warmup, steps) = (48usize, 3u32, 2usize, 8usize);
+    let mut case_objs = Vec::new();
+    let mut trace: Option<String> = None;
+    for variant in [Variant::ModifiedBaseline, Variant::FusedAll] {
+        let (eager, einfo) = graph_case(n, levels, variant, ExecMode::Eager, warmup, steps);
+        let (graphr, ginfo) = graph_case(n, levels, variant, ExecMode::Graph, warmup, steps);
+        let eager_syncs = eager.syncs as f64 / steps as f64;
+        let graph_syncs = graphr.syncs as f64 / steps as f64;
+        let sync_match = graphr.syncs == (ginfo.schedule_syncs * steps) as u64;
+        let wave_match = ginfo.waves == (ginfo.schedule_waves * steps) as u64;
+        println!(
+            "\ncavity n={n} L={levels} {} — schedule: {} kernels, {} waves, {} syncs per step",
+            variant.name(),
+            ginfo.schedule_kernels,
+            ginfo.schedule_waves,
+            ginfo.schedule_syncs,
+        );
+        println!(
+            "{:<8} {:>12} {:>14} {:>12} {:>12}",
+            "mode", "MLUPS", "modeled MLUPS", "syncs/step", "waves/step"
+        );
+        println!(
+            "{:<8} {:>12.2} {:>14.1} {:>12.1} {:>12}",
+            "eager", eager.measured_mlups, eager.modeled_mlups, eager_syncs, "-"
+        );
+        println!(
+            "{:<8} {:>12.2} {:>14.1} {:>12.1} {:>12.1}",
+            "graph",
+            graphr.measured_mlups,
+            graphr.modeled_mlups,
+            graph_syncs,
+            ginfo.waves as f64 / steps as f64
+        );
+        println!(
+            "sync check: measured {} == schedule {} x {} steps: {}",
+            graphr.syncs,
+            ginfo.schedule_syncs,
+            steps,
+            if sync_match { "OK" } else { "MISMATCH" }
+        );
+        println!("\nper-wave summary (one traced step):");
+        println!("{}", ginfo.wave_summary);
+
+        // Per-wave span aggregation of the traced step.
+        let mut waves: Vec<(u32, u64, u64, f64)> = Vec::new(); // (wave, kernels, bytes, wall_us)
+        for s in &ginfo.spans {
+            let w = s.wave.unwrap_or(u32::MAX);
+            match waves.iter_mut().find(|(id, ..)| *id == w) {
+                Some((_, k, b, t)) => {
+                    *k += 1;
+                    *b += s.bytes;
+                    *t += s.dur_us;
+                }
+                None => waves.push((w, 1, s.bytes, s.dur_us)),
+            }
+        }
+        waves.sort_by_key(|(id, ..)| *id);
+        let wave_objs: Vec<String> = waves
+            .iter()
+            .map(|(id, k, b, t)| {
+                format!(
+                    "        {{ \"wave\": {id}, \"kernels\": {k}, \"bytes\": {b}, \
+                     \"wall_us\": {t:.3} }}"
+                )
+            })
+            .collect();
+        case_objs.push(format!(
+            "    {{\n      \"case\": \"cavity n={n} L={levels} {}\",\n      \
+             \"schedule\": {{ \"kernels\": {}, \"waves\": {}, \"syncs\": {} }},\n      \
+             \"eager\": {{ \"measured_mlups\": {:.3}, \"modeled_mlups\": {:.3}, \
+             \"syncs_per_step\": {:.1}, \"launches_per_step\": {:.1} }},\n      \
+             \"graph\": {{ \"measured_mlups\": {:.3}, \"modeled_mlups\": {:.3}, \
+             \"syncs_per_step\": {:.1}, \"waves_per_step\": {:.1}, \
+             \"spans_per_step\": {} }},\n      \
+             \"sync_match\": {sync_match},\n      \"wave_match\": {wave_match},\n      \
+             \"waves\": [\n{}\n      ]\n    }}",
+            variant.name(),
+            ginfo.schedule_kernels,
+            ginfo.schedule_waves,
+            ginfo.schedule_syncs,
+            eager.measured_mlups,
+            eager.modeled_mlups,
+            eager_syncs,
+            eager.launches_per_step(),
+            graphr.measured_mlups,
+            graphr.modeled_mlups,
+            graph_syncs,
+            ginfo.waves as f64 / steps as f64,
+            ginfo.spans.len(),
+            wave_objs.join(",\n"),
+        ));
+        // Keep the chrome trace of the most fused graph run (the last).
+        trace = Some(ginfo.chrome_trace);
+        let _ = einfo; // eager spans are recorded but not exported
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"graph_exec\",\n  \"device_model\": \"a100_40gb\",\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        case_objs.join(",\n")
+    );
+    std::fs::write("BENCH_graph.json", &json).unwrap();
+    std::fs::write("BENCH_graph_trace.json", trace.unwrap()).unwrap();
+    println!("\nwrote BENCH_graph.json and BENCH_graph_trace.json");
 }
 
 /// Fig. 1 / §VI-B: airplane-tunnel capacity claim.

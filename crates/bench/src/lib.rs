@@ -16,8 +16,8 @@
 
 use std::time::Duration;
 
-use lbm_core::{InteriorPath, Variant};
-use lbm_gpu::{DeviceModel, Executor, KernelStats};
+use lbm_core::{ExecMode, InteriorPath, Variant};
+use lbm_gpu::{DeviceModel, Executor, KernelSpan, KernelStats};
 use lbm_problems::cavity::{Cavity, CavityConfig};
 use lbm_problems::sphere::{SphereConfig, SphereFlow};
 
@@ -153,8 +153,11 @@ pub fn streaming_case(
         block_size: 8,
         ..CavityConfig::default()
     });
-    let mut eng = cavity.engine(Variant::FusedAll, Executor::new(DeviceModel::a100_40gb()));
-    eng.set_interior_path(path);
+    let mut eng = cavity.engine_with(
+        Variant::FusedAll,
+        Executor::new(DeviceModel::a100_40gb()),
+        |b| b.interior_path(path),
+    );
     time_engine(
         format!("cavity n={n} L={levels} path={}", path.name()),
         &mut eng,
@@ -224,6 +227,84 @@ pub fn stream_kernel_compare(n: usize, rounds: usize, iters: usize) -> Vec<(Inte
         }
     }
     paths.iter().copied().zip(best).collect()
+}
+
+/// Observability record of one traced run: what the scheduler planned and
+/// what the executor actually dispatched.
+#[derive(Clone, Debug)]
+pub struct GraphRunInfo {
+    /// Execution mode the engine ran in.
+    pub mode: ExecMode,
+    /// Executor waves recorded over the timed steps.
+    pub waves: u64,
+    /// Per-kernel spans of one traced coarse step (recorded separately
+    /// after the timing run, so the timed numbers stay tracing-free).
+    pub spans: Vec<KernelSpan>,
+    /// Per-wave text summary of the traced step.
+    pub wave_summary: String,
+    /// chrome://tracing JSON of the traced step.
+    pub chrome_trace: String,
+    /// Kernels per coarse step in the schedule.
+    pub schedule_kernels: usize,
+    /// Synchronization barriers per coarse step in the schedule.
+    pub schedule_syncs: usize,
+    /// Waves per coarse step in the task graph.
+    pub schedule_waves: usize,
+}
+
+/// Runs the cavity workload in the given [`ExecMode`] with span tracing on
+/// and returns both the usual timing record and the scheduling
+/// observability record. This is the `report -- graph` workhorse: the same
+/// engine provides the planned schedule (via the unified step program) and
+/// the measured dispatch, so the two can be cross-checked.
+pub fn graph_case(
+    n: usize,
+    levels: u32,
+    variant: Variant,
+    mode: ExecMode,
+    warmup: usize,
+    steps: usize,
+) -> (CaseResult, GraphRunInfo) {
+    let cavity = Cavity::new(CavityConfig {
+        n_finest: n,
+        levels,
+        wall_band: if levels == 1 { 0 } else { 4 },
+        quasi_2d: true,
+        depth: 8,
+        ..CavityConfig::default()
+    });
+    let mut eng = cavity.engine_with(
+        variant,
+        Executor::new(DeviceModel::a100_40gb()),
+        |b| b.exec_mode(mode),
+    );
+    let (graph, schedule) = eng.step_task_graph();
+    let case = time_engine(
+        format!("cavity n={n} L={levels} {} {mode:?}", variant.name()),
+        &mut eng,
+        warmup,
+        steps,
+    );
+    let timed_waves = eng.exec.profiler().waves();
+    // Trace one extra step in isolation: spans from recurring waves of
+    // different steps would otherwise share wave ids and smear the
+    // per-wave makespans over the whole run.
+    eng.exec.profiler().reset();
+    eng.exec.profiler().set_tracing(true);
+    eng.step();
+    eng.exec.profiler().set_tracing(false);
+    let prof = eng.exec.profiler();
+    let info = GraphRunInfo {
+        mode,
+        waves: timed_waves,
+        spans: prof.spans(),
+        wave_summary: prof.wave_summary(),
+        chrome_trace: prof.chrome_trace_json(),
+        schedule_kernels: schedule.kernel_count(),
+        schedule_syncs: schedule.sync_count(),
+        schedule_waves: graph.wave_count(),
+    };
+    (case, info)
 }
 
 /// Formats a Table-I style row.

@@ -35,7 +35,10 @@ where
     C: Collision<T, V>,
 {
     let grid = MultiGrid::<T, V>::build(with_tiny_blocks(spec), bc, omega0);
-    Engine::new(grid, base_op, Variant::ModifiedBaseline, exec)
+    Engine::builder(grid)
+        .collision(base_op)
+        .variant(Variant::ModifiedBaseline)
+        .build(exec)
 }
 
 /// Convenience: BGK/D3Q19 f64 engine.

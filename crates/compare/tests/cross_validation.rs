@@ -52,12 +52,10 @@ fn dense_serial_solver_matches_optimized_engine() {
     reference.init_equilibrium(|_, _| 1.0, init_u);
 
     let grid = MultiGrid::<f64, D3Q19>::build(spec(), &lid, omega0);
-    let mut ours = Engine::new(
-        grid,
-        Bgk::new(omega0),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut ours = Engine::builder(grid)
+        .collision(Bgk::new(omega0))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     ours.grid.init_equilibrium(|_, _| 1.0, init_u);
 
     // Masses agree at init.
@@ -110,12 +108,10 @@ fn dense_solver_matches_on_periodic_slab() {
 
     let mut reference = PalabosLike::<D3Q19>::new(spec_fn(), walls, omega0);
     let grid = MultiGrid::<f64, D3Q19>::build(spec_fn(), &walls, omega0);
-    let mut ours = Engine::new(
-        grid,
-        Bgk::new(omega0),
-        Variant::ModifiedBaseline,
-        Executor::sequential(DeviceModel::a100_40gb()),
-    );
+    let mut ours = Engine::builder(grid)
+        .collision(Bgk::new(omega0))
+        .variant(Variant::ModifiedBaseline)
+        .build(Executor::sequential(DeviceModel::a100_40gb()));
     let u = |l: u32, p: Coord| {
         let s = if l == 0 { 2.0 } else { 1.0 };
         let y = (p.y as f64 + 0.5) * s;

@@ -189,12 +189,10 @@ mod tests {
         let spec =
             GridSpec::uniform(Box3::from_dims(16, 16, 8)).with_periodic([true, true, true]);
         let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, omega);
-        let mut eng = Engine::new(
-            grid,
-            Bgk::new(omega),
-            Variant::FusedAll,
-            Executor::sequential(DeviceModel::a100_40gb()),
-        );
+        let mut eng = Engine::builder(grid)
+            .collision(Bgk::new(omega))
+            .variant(Variant::FusedAll)
+            .build(Executor::sequential(DeviceModel::a100_40gb()));
         eng.grid
             .init_equilibrium(|_, _| 1.0, |_, c| init_u(c));
 

@@ -3,14 +3,26 @@
 //!
 //! One [`Engine::step`] advances the coarsest level by one time step; a
 //! level at depth `L` advances `2^L` times (acoustic scaling, paper §III).
-//! The recursion runs the finer level's two substeps *before* the coarse
-//! level's streaming so that:
+//! The launch sequence comes from [`crate::program::step_ops`], which runs
+//! the finer level's two substeps *before* the coarse level's streaming so
+//! that:
 //!
 //! - Explosion reads the coarse post-collision state of the enclosing step
 //!   (zeroth-order time interpolation, as in the volume-based scheme);
 //! - the ghost accumulators are fully charged (2 substeps × 2³ children =
 //!   16 contributions) before coarse Coalescence divides them;
 //! - accumulators are reset right after being consumed (paper §IV-A).
+//!
+//! The program executes in one of two modes ([`ExecMode`]):
+//!
+//! - **Eager** — launches in program order with a synchronization point
+//!   between consecutive kernels (the classical serial submission);
+//! - **Graph** — the dependency graph of the declared field accesses is
+//!   scheduled into waves ([`lbm_runtime::Schedule`]); independent kernels
+//!   of a wave dispatch concurrently on virtual streams and barriers exist
+//!   only between waves — the paper's §V-C minimal-synchronization
+//!   execution. Both modes run the *same* kernels on the same buffers and
+//!   produce bit-identical fields (enforced by tests across all variants).
 //!
 //! The population buffers use the post-collision convention, which is what
 //! lets Fig. 4f's single fused kernel exist: one gather (streaming +
@@ -19,12 +31,18 @@
 
 use std::time::{Duration, Instant};
 
-use lbm_gpu::Executor;
+use lbm_gpu::{with_span_context, AtomicF64Field, Executor};
 use lbm_lattice::{Collision, Real, VelocitySet};
+use lbm_runtime::{Schedule, TaskGraph};
+use lbm_sparse::{Field, SparseGrid, StreamOffsets};
 
+use crate::flags::BlockFlags;
+use crate::graphs;
 use crate::kernels::{self, InteriorPath, StreamInputs, StreamOptions};
-use crate::links::LinkKind;
+use crate::level::GatherEntry;
+use crate::links::{BlockLinks, LinkKind};
 use crate::multigrid::MultiGrid;
+use crate::program::{self, LevelTopo, OpKind, StepOp};
 use crate::variant::Variant;
 
 /// Kernel-name families for profiler breakdowns (per level, levels 0–7).
@@ -43,9 +61,31 @@ mod names {
     pub const R: [&str; 8] = ["R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7"];
 }
 
+/// How [`Engine::step`] executes the step program.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Program order, one synchronization point between consecutive
+    /// kernels.
+    #[default]
+    Eager,
+    /// Wave-scheduled from the dependency graph: independent kernels
+    /// dispatch concurrently on virtual streams, barriers only between
+    /// waves (minimal synchronization, paper §V-C).
+    Graph,
+}
+
 /// The multi-resolution LBM engine: grid stack + collision operators +
 /// execution variant on a virtual GPU executor.
-pub struct Engine<T: Real, V: VelocitySet, C: Collision<T, V>> {
+///
+/// Build one with [`Engine::builder`]:
+///
+/// ```ignore
+/// let eng = Engine::builder(grid)
+///     .collision(Bgk::new(omega0))
+///     .variant(Variant::FusedAll)
+///     .build(exec);
+/// ```
+pub struct Engine<T: Real, V: VelocitySet, C> {
     /// The level stack.
     pub grid: MultiGrid<T, V>,
     /// The virtual GPU.
@@ -58,13 +98,137 @@ pub struct Engine<T: Real, V: VelocitySet, C: Collision<T, V>> {
     coalesce_cells: Vec<u64>,
     time_interp: bool,
     interior_path: InteriorPath,
+    exec_mode: ExecMode,
+    /// Cached wave schedule, keyed by the (variant, time_interp) it was
+    /// built for. The wave partition is invariant under buffer parity, so
+    /// one schedule serves every step.
+    plan: Option<(Variant, bool, Schedule)>,
+}
+
+/// Fluent builder for [`Engine`] (start with [`Engine::builder`]); supply
+/// the collision operator with [`EngineBuilder::collision`] to proceed to
+/// [`EngineBuilderWithOp::build`].
+#[must_use = "finish the builder with .collision(op).build(exec)"]
+pub struct EngineBuilder<T: Real, V: VelocitySet> {
+    grid: MultiGrid<T, V>,
+    variant: Variant,
+    interior_path: InteriorPath,
+    time_interp: bool,
+    exec_mode: ExecMode,
+}
+
+/// [`EngineBuilder`] with the collision operator chosen; finish with
+/// [`EngineBuilderWithOp::build`].
+#[must_use = "finish the builder with .build(exec)"]
+pub struct EngineBuilderWithOp<T: Real, V: VelocitySet, C> {
+    base: EngineBuilder<T, V>,
+    op: C,
+}
+
+impl<T: Real, V: VelocitySet> Engine<T, V, ()> {
+    /// Starts building an engine over `grid`. Defaults: the paper's most
+    /// optimized variant ([`Variant::FusedAll`]), the default interior fast
+    /// path, no temporal interpolation, eager execution.
+    pub fn builder(grid: MultiGrid<T, V>) -> EngineBuilder<T, V> {
+        EngineBuilder {
+            grid,
+            variant: Variant::FusedAll,
+            interior_path: InteriorPath::default(),
+            time_interp: false,
+            exec_mode: ExecMode::Eager,
+        }
+    }
+}
+
+impl<T: Real, V: VelocitySet> EngineBuilder<T, V> {
+    /// Sets the execution variant (fusion configuration).
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Selects the implementation eligible interior blocks use in the
+    /// streaming-family kernels (all paths are bit-identical; the
+    /// non-default paths exist for benchmarking and equivalence testing).
+    pub fn interior_path(mut self, p: InteriorPath) -> Self {
+        self.interior_path = p;
+        self
+    }
+
+    /// Enables the linear-time-interpolation extension (beyond paper): the
+    /// Explosion source is extrapolated to each fine substep's time using
+    /// the coarse level's previous state (already present in the idle half
+    /// of its double buffer), instead of the paper's zeroth-order hold.
+    pub fn time_interpolation(mut self, on: bool) -> Self {
+        self.time_interp = on;
+        self
+    }
+
+    /// Sets the execution mode (eager or wave-scheduled graph execution).
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Chooses the collision model. Each level gets an instance rebuilt
+    /// with its own ω (paper Eq. 9 — the grid carries per-level rates from
+    /// `omega0`).
+    pub fn collision<C: Collision<T, V>>(self, op: C) -> EngineBuilderWithOp<T, V, C> {
+        EngineBuilderWithOp { base: self, op }
+    }
+}
+
+impl<T: Real, V: VelocitySet, C: Collision<T, V>> EngineBuilderWithOp<T, V, C> {
+    /// Sets the execution variant (fusion configuration).
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.base.variant = v;
+        self
+    }
+
+    /// Selects the interior fast path (see [`EngineBuilder::interior_path`]).
+    pub fn interior_path(mut self, p: InteriorPath) -> Self {
+        self.base.interior_path = p;
+        self
+    }
+
+    /// Enables temporal interpolation (see
+    /// [`EngineBuilder::time_interpolation`]).
+    pub fn time_interpolation(mut self, on: bool) -> Self {
+        self.base.time_interp = on;
+        self
+    }
+
+    /// Sets the execution mode (eager or wave-scheduled graph execution).
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.base.exec_mode = mode;
+        self
+    }
+
+    /// Assembles the engine on the given executor.
+    pub fn build(self, exec: Executor) -> Engine<T, V, C> {
+        let b = self.base;
+        Engine::assemble(
+            b.grid,
+            self.op,
+            b.variant,
+            exec,
+            b.interior_path,
+            b.time_interp,
+            b.exec_mode,
+        )
+    }
 }
 
 impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
-    /// Creates the engine. `base_op` provides the collision model; each
-    /// level gets an instance rebuilt with its own ω (paper Eq. 9 — the
-    /// grid carries per-level rates from `omega0`).
-    pub fn new(grid: MultiGrid<T, V>, base_op: C, variant: Variant, exec: Executor) -> Self {
+    fn assemble(
+        grid: MultiGrid<T, V>,
+        base_op: C,
+        variant: Variant,
+        exec: Executor,
+        interior_path: InteriorPath,
+        time_interp: bool,
+        exec_mode: ExecMode,
+    ) -> Self {
         let ops = grid
             .levels
             .iter()
@@ -92,14 +256,31 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             coarse_steps: 0,
             explosion_cells,
             coalesce_cells,
-            time_interp: false,
-            interior_path: InteriorPath::default(),
+            time_interp,
+            interior_path,
+            exec_mode,
+            plan: None,
         }
     }
 
-    /// Selects the implementation eligible interior blocks use in the
-    /// streaming-family kernels (all paths are bit-identical; the
-    /// non-default paths exist for benchmarking and equivalence testing).
+    /// Creates the engine from positional arguments.
+    #[deprecated(
+        note = "use the builder: Engine::builder(grid).collision(op).variant(v).build(exec)"
+    )]
+    pub fn new(grid: MultiGrid<T, V>, base_op: C, variant: Variant, exec: Executor) -> Self {
+        Self::assemble(
+            grid,
+            base_op,
+            variant,
+            exec,
+            InteriorPath::default(),
+            false,
+            ExecMode::Eager,
+        )
+    }
+
+    /// Selects the interior fast path.
+    #[deprecated(note = "configure via Engine::builder(..).interior_path(p)")]
     pub fn set_interior_path(&mut self, path: InteriorPath) {
         self.interior_path = path;
     }
@@ -109,14 +290,28 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         self.interior_path
     }
 
-    /// Enables the linear-time-interpolation extension (beyond paper): the
-    /// Explosion source is extrapolated to each fine substep's time using
-    /// the coarse level's previous state (already present in the idle half
-    /// of its double buffer), instead of the paper's zeroth-order hold.
-    /// Reduces the first-order interface dissipation visible in the
-    /// Taylor–Green benchmark.
+    /// Enables/disables the linear-time-interpolation extension.
+    #[deprecated(note = "configure via Engine::builder(..).time_interpolation(on)")]
     pub fn set_time_interpolation(&mut self, on: bool) {
         self.time_interp = on;
+    }
+
+    /// Whether temporal interpolation is enabled.
+    pub fn time_interpolation(&self) -> bool {
+        self.time_interp
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Switches the execution mode. Both modes run the same kernels on the
+    /// same buffers (bit-identical fields); they differ in dispatch order
+    /// and synchronization accounting, so this is safe to flip mid-run —
+    /// e.g. to A/B the two modes on a warmed-up state.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
     }
 
     /// Coarsest-level steps taken so far.
@@ -135,11 +330,153 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             .sum()
     }
 
+    /// The interface topology of each level, as the step-program generator
+    /// sees it (derived from the assembled link tables).
+    pub fn topology(&self) -> Vec<LevelTopo> {
+        let levels = &self.grid.levels;
+        (0..levels.len())
+            .map(|l| LevelTopo {
+                ghosts: levels[l].ghost_cells > 0,
+                coarse_ghosts: l > 0 && levels[l - 1].ghost_cells > 0,
+                explodes: self.explosion_cells[l] > 0,
+                coalesces: self.coalesce_cells[l] > 0,
+            })
+            .collect()
+    }
+
+    /// The launch program of the *next* coarse step (current buffer
+    /// parities), in program order.
+    pub fn step_program(&self) -> Vec<StepOp> {
+        let halves: Vec<u8> = self
+            .grid
+            .levels
+            .iter()
+            .map(|lv| lv.f.parity() as u8)
+            .collect();
+        program::step_ops(&self.topology(), self.variant, &halves)
+    }
+
+    /// The dependency graph and wave schedule of the next coarse step —
+    /// the graph [`ExecMode::Graph`] actually executes (Fig. 2 counts come
+    /// from here).
+    pub fn step_task_graph(&self) -> (TaskGraph, Schedule) {
+        let topo = self.topology();
+        let halves: Vec<u8> = self
+            .grid
+            .levels
+            .iter()
+            .map(|lv| lv.f.parity() as u8)
+            .collect();
+        let g = graphs::step_graph_for(&topo, self.variant, &halves, self.time_interp);
+        let s = Schedule::from_graph(&g);
+        (g, s)
+    }
+
     /// Advances the coarsest level by one time step (finer levels advance
     /// `2^L` substeps).
     pub fn step(&mut self) {
-        let mut first = true;
-        self.step_level(0, 0, &mut first);
+        if self.exec_mode == ExecMode::Graph {
+            let stale = match &self.plan {
+                Some((v, ti, _)) => *v != self.variant || *ti != self.time_interp,
+                None => true,
+            };
+            if stale {
+                let (_, s) = self.step_task_graph();
+                self.plan = Some((self.variant, self.time_interp, s));
+            }
+        }
+        let ops = self.step_program();
+
+        // Field-granular captures: raw pointers to the double-buffer halves
+        // (taken first, under the mutable borrow), then shared references
+        // to everything else. Kernels dereference exactly the halves their
+        // declared accesses name, and the schedule guarantees no
+        // read/write overlap within a wave.
+        let half_ptrs: Vec<[HalfPtr<T>; 2]> = self
+            .grid
+            .levels
+            .iter_mut()
+            .map(|lv| {
+                let p = lv.f.half_ptrs();
+                [HalfPtr(p[0]), HalfPtr(p[1])]
+            })
+            .collect();
+        let ctx: Vec<LevelCtx<'_, T>> = self
+            .grid
+            .levels
+            .iter()
+            .zip(&half_ptrs)
+            .enumerate()
+            .map(|(l, (lv, &halves))| LevelCtx {
+                grid: &lv.grid,
+                flags: &lv.flags,
+                block_flags: &lv.block_flags,
+                links: &lv.links,
+                acc: &lv.acc,
+                offsets: &lv.offsets,
+                gather: &lv.gather,
+                acc_target: &lv.acc_target,
+                acc_dirs: &lv.acc_dirs,
+                halves,
+                real: lv.real_cells as u64,
+                ghost: lv.ghost_cells as u64,
+                expl: self.explosion_cells[l],
+                coal: self.coalesce_cells[l],
+            })
+            .collect();
+
+        let exec = &self.exec;
+        let coll = &self.ops;
+        let ti = self.time_interp;
+        let ip = self.interior_path;
+        match self.exec_mode {
+            ExecMode::Eager => {
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        exec.sync();
+                    }
+                    run_op::<T, V, C>(exec, &ctx, coll, op, ti, ip);
+                }
+            }
+            ExecMode::Graph => {
+                let schedule = &self.plan.as_ref().expect("plan cached above").2;
+                for (w, wave) in schedule.waves.iter().enumerate() {
+                    if w > 0 {
+                        exec.sync();
+                    }
+                    exec.begin_wave();
+                    if exec.is_parallel() && wave.len() > 1 {
+                        // One thread per virtual stream; the scope join is
+                        // the wave barrier.
+                        std::thread::scope(|scope| {
+                            for (stream, &ni) in wave.iter().enumerate() {
+                                let op = &ops[ni];
+                                let ctx = &ctx;
+                                scope.spawn(move || {
+                                    with_span_context(w as u32, stream as u32, || {
+                                        run_op::<T, V, C>(exec, ctx, coll, op, ti, ip)
+                                    })
+                                });
+                            }
+                        });
+                    } else {
+                        // Sequential dispatch in ascending node order =
+                        // program order (deterministic replay).
+                        for (stream, &ni) in wave.iter().enumerate() {
+                            with_span_context(w as u32, stream as u32, || {
+                                run_op::<T, V, C>(exec, &ctx, coll, &ops[ni], ti, ip)
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        drop(ctx);
+
+        // The program addresses halves explicitly, so only the *net* parity
+        // change is applied: level 0 swapped once, deeper levels 2^L times
+        // (even — no net change).
+        self.grid.levels[0].f.swap();
         self.coarse_steps += 1;
     }
 
@@ -169,164 +506,185 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         let us = self.exec.profiler().modeled_us(self.exec.device());
         (self.work_per_coarse_step() * steps) as f64 / us.max(1e-9)
     }
+}
 
-    fn step_level(&mut self, l: usize, phase: u8, first: &mut bool) {
-        let nl = self.grid.levels.len();
-        if l + 1 < nl {
-            // Two substeps of the finer level before this level streams
-            // (Δt_{L+1} = Δt_L / 2, paper §II-A).
-            self.step_level(l + 1, 0, &mut *first);
-            self.step_level(l + 1, 1, &mut *first);
-        }
+/// `Send`/`Sync` wrapper for a double-buffer half pointer. Safety rests on
+/// the schedule: a half is never written while any other kernel of the same
+/// wave touches it (the dependency edges are derived from exactly these
+/// accesses).
+#[derive(Copy, Clone)]
+struct HalfPtr<T>(*mut Field<T>);
 
-        let cfg = self.variant.config();
-        let finest = l + 1 == nl;
-        let fuse_cs = cfg.all_collide_stream || (cfg.finest_collide_stream && finest);
-        let op = self.ops[l];
-        let exec = self.exec.clone();
-        let expl_cells = self.explosion_cells[l];
-        let coal_cells = self.coalesce_cells[l];
+unsafe impl<T: Send> Send for HalfPtr<T> {}
+unsafe impl<T: Sync> Sync for HalfPtr<T> {}
 
-        let (prev, rest) = self.grid.levels.split_at_mut(l);
-        let level = &mut rest[0];
-        let coarse = prev.last();
-        let real = level.real_cells as u64;
-        let accum_pair = coarse.and_then(|c| {
-            if c.ghost_cells > 0 {
-                Some(kernels::AccTables {
-                    acc: &c.acc,
-                    targets: &level.acc_target[..],
-                    dirs: &level.acc_dirs[..],
-                })
-            } else {
-                None
-            }
-        });
+/// Shared per-level views captured once per step; double-buffer halves are
+/// raw so each kernel can take exactly the reference its declared accesses
+/// allow.
+struct LevelCtx<'a, T> {
+    grid: &'a SparseGrid,
+    flags: &'a Field<u8>,
+    block_flags: &'a [BlockFlags],
+    links: &'a [BlockLinks<T>],
+    acc: &'a AtomicF64Field,
+    offsets: &'a StreamOffsets,
+    gather: &'a [Vec<GatherEntry>],
+    acc_target: &'a [Option<Box<[u64]>>],
+    acc_dirs: &'a [Option<Box<[u32]>>],
+    halves: [HalfPtr<T>; 2],
+    real: u64,
+    ghost: u64,
+    expl: u64,
+    coal: u64,
+}
 
-        // Temporal extrapolation weight: the second substep of the parent
-        // interval sits at t + Δt_c/2, half a coarse step past the coarse
-        // state — `0.5` extrapolates linearly from the previous state.
-        let blend = if self.time_interp && phase == 1 { 0.5 } else { 0.0 };
-        let (src, dst) = level.f.pair_mut();
-        let inp = StreamInputs {
-            grid: &level.grid,
-            flags: &level.flags,
-            block_flags: &level.block_flags,
-            links: &level.links,
-            src,
-            acc: &level.acc,
-            coarse_src: coarse.map(|c| c.f.src()),
-            coarse_prev: if self.time_interp {
-                coarse.map(|c| c.f.peek_dst())
-            } else {
-                None
-            },
-            explosion_blend: blend,
-            offsets: &level.offsets,
-            interior_path: self.interior_path,
-        };
-
-        if fuse_cs {
-            gate(&exec, first);
-            kernels::fused_stream_collide(
-                &exec,
-                names::CASE[l],
-                inp,
-                &op,
-                dst,
-                accum_pair,
-                real,
-            );
+/// Executes one launch record of the step program.
+fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
+    exec: &Executor,
+    ctx: &[LevelCtx<'_, T>],
+    coll: &[C],
+    op: &StepOp,
+    time_interp: bool,
+    interior_path: InteriorPath,
+) {
+    let l = op.level;
+    let lv = &ctx[l];
+    let sh = op.src_half as usize;
+    let ch = op.coarse_half as usize;
+    let coarse = if l > 0 { Some(&ctx[l - 1]) } else { None };
+    // SAFETY (all derefs below): the halves named by the op's declared
+    // accesses are not concurrently written — within a wave the schedule
+    // admits no conflicting pair, and `src != dst` by construction.
+    let src: &Field<T> = unsafe { &*lv.halves[sh].0 };
+    // Temporal extrapolation weight: the second substep of the parent
+    // interval sits at t + Δt_c/2, half a coarse step past the coarse
+    // state — `0.5` extrapolates linearly from the previous state.
+    let blend = if time_interp && op.phase == 1 { 0.5 } else { 0.0 };
+    let accum = coarse.and_then(|c| {
+        if c.ghost > 0 {
+            Some(kernels::AccTables {
+                acc: c.acc,
+                targets: lv.acc_target,
+                dirs: lv.acc_dirs,
+            })
         } else {
-            // Unfused Accumulate (modified baseline, Fig. 4b): the coarse
-            // level gathers the crossing populations from the fine source
-            // buffer *before* this substep streams them away (paper §VI-B:
-            // "the Accumulate communication is initiated from the coarse
-            // level").
-            if !cfg.collide_accumulate {
-                if let Some(c) = coarse {
-                    if c.ghost_cells > 0 {
-                        gate(&exec, first);
-                        kernels::accumulate_gather::<T, V>(
-                            &exec,
-                            names::A[l],
-                            &c.grid,
-                            &c.gather,
-                            &c.acc,
-                            inp.src,
-                            c.ghost_cells as u64,
-                        );
-                    }
-                }
-            }
-            let opts = StreamOptions {
-                explosion: cfg.stream_explosion,
-                coalesce: cfg.stream_coalesce,
-            };
-            let sname = if cfg.stream_explosion || cfg.stream_coalesce {
+            None
+        }
+    });
+    // Dereference the coarse halves only when this op's declared accesses
+    // include them: an undeclared reference could alias a concurrent
+    // writer in the same wave (the schedule only separates *declared*
+    // conflicts).
+    let resolves_explosion = match op.kind {
+        OpKind::Stream { explosion, .. } => explosion && lv.expl > 0,
+        OpKind::Explosion => true,
+        OpKind::Fused { .. } => lv.expl > 0,
+        _ => false,
+    };
+    let coarse_src: Option<&Field<T>> = if resolves_explosion {
+        coarse.map(|c| unsafe { &*c.halves[ch].0 })
+    } else {
+        None
+    };
+    let coarse_prev: Option<&Field<T>> = if resolves_explosion && time_interp {
+        coarse.map(|c| unsafe { &*c.halves[1 - ch].0 })
+    } else {
+        None
+    };
+    let inputs = StreamInputs {
+        grid: lv.grid,
+        flags: lv.flags,
+        block_flags: lv.block_flags,
+        links: lv.links,
+        src,
+        acc: lv.acc,
+        coarse_src,
+        coarse_prev,
+        explosion_blend: blend,
+        offsets: lv.offsets,
+        interior_path,
+    };
+
+    match op.kind {
+        OpKind::AccGather => {
+            let c = coarse.expect("AccGather needs a coarser level");
+            kernels::accumulate_gather::<T, V>(
+                exec,
+                names::A[l],
+                c.grid,
+                c.gather,
+                c.acc,
+                src,
+                c.ghost,
+            );
+        }
+        OpKind::Stream {
+            explosion,
+            coalesce,
+            accumulate,
+        } => {
+            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            let name = if explosion || coalesce {
                 names::SEO[l]
             } else {
                 names::S[l]
             };
-            gate(&exec, first);
             kernels::stream::<T, V>(
-                &exec,
-                sname,
-                inp,
+                exec,
+                name,
+                inputs,
                 dst,
-                opts,
-                if cfg.collide_accumulate {
-                    accum_pair
-                } else {
-                    None
+                StreamOptions {
+                    explosion,
+                    coalesce,
                 },
-                real,
-            );
-            if !cfg.stream_explosion && expl_cells > 0 {
-                gate(&exec, first);
-                kernels::explosion::<T, V>(&exec, names::E[l], inp, dst, expl_cells);
-            }
-            if !cfg.stream_coalesce && coal_cells > 0 {
-                gate(&exec, first);
-                kernels::coalesce::<T, V>(&exec, names::O[l], inp, dst, coal_cells);
-            }
-            gate(&exec, first);
-            kernels::collide(
-                &exec,
-                names::C[l],
-                &level.grid,
-                &level.flags,
-                &level.block_flags,
-                &op,
-                dst,
-                real,
+                if accumulate { accum } else { None },
+                lv.real,
             );
         }
-
-        // Reset this level's accumulators now that its streaming consumed
-        // them; the next charge starts from zero.
-        if level.ghost_cells > 0 {
-            gate(&exec, first);
+        OpKind::Explosion => {
+            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            kernels::explosion::<T, V>(exec, names::E[l], inputs, dst, lv.expl);
+        }
+        OpKind::Coalesce => {
+            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            kernels::coalesce::<T, V>(exec, names::O[l], inputs, dst, lv.coal);
+        }
+        OpKind::Collide => {
+            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            kernels::collide(
+                exec,
+                names::C[l],
+                lv.grid,
+                lv.flags,
+                lv.block_flags,
+                &coll[l],
+                dst,
+                lv.real,
+            );
+        }
+        OpKind::Fused { accumulate } => {
+            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            kernels::fused_stream_collide(
+                exec,
+                names::CASE[l],
+                inputs,
+                &coll[l],
+                dst,
+                if accumulate { accum } else { None },
+                lv.real,
+            );
+        }
+        OpKind::Reset => {
             kernels::reset_accumulators(
-                &exec,
+                exec,
                 names::R[l],
-                &level.grid,
-                &level.gather,
-                &level.acc,
-                level.ghost_cells as u64,
+                lv.grid,
+                lv.gather,
+                lv.acc,
+                lv.ghost,
                 V::Q,
             );
         }
-
-        level.f.swap();
-    }
-}
-
-#[inline]
-fn gate(exec: &Executor, first: &mut bool) {
-    if *first {
-        *first = false;
-    } else {
-        exec.sync();
     }
 }

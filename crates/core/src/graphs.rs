@@ -13,6 +13,7 @@
 
 use lbm_runtime::{FieldId, FieldRegistry, KernelNode, TaskGraph};
 
+use crate::program::{self, LevelTopo};
 use crate::variant::Variant;
 
 fn node(
@@ -88,113 +89,34 @@ pub fn alg1_graph(levels: u32) -> TaskGraph {
     g
 }
 
-/// Graph of one coarsest time step of our engine under `variant`,
-/// mirroring `Engine::step_level`: double-buffered populations per level
-/// plus ghost accumulators, fine substeps before coarse streaming.
+/// Graph of one coarsest time step of our engine under `variant`: the
+/// [`crate::program::step_ops`] launch sequence — the very program
+/// `Engine::step` executes — rendered as a task graph.
 ///
 /// Assumes the generic nested-refinement topology: every level `< levels−1`
 /// carries a ghost layer and every level `> 0` has an explosion interface.
+/// (`Engine::step_task_graph` builds the same graph from the *actual* grid
+/// topology.)
 pub fn step_graph(levels: u32, variant: Variant) -> TaskGraph {
     assert!(levels >= 1);
-    let mut reg = FieldRegistry::new();
-    let bufs: Vec<[FieldId; 2]> = (0..levels)
-        .map(|l| {
-            [
-                reg.register(format!("f{l}.a")),
-                reg.register(format!("f{l}.b")),
-            ]
-        })
-        .collect();
-    let acc: Vec<FieldId> = (0..levels)
-        .map(|l| reg.register(format!("acc{l}")))
-        .collect();
-    let mut flip = vec![0usize; levels as usize];
-    let mut g = TaskGraph::new();
-    rec_step(&mut g, &bufs, &acc, &mut flip, 0, levels, variant);
-    g
+    let topo = program::generic_topology(levels);
+    step_graph_for(&topo, variant, &vec![0u8; levels as usize], false)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn rec_step(
-    g: &mut TaskGraph,
-    bufs: &[[FieldId; 2]],
-    acc: &[FieldId],
-    flip: &mut [usize],
-    l: u32,
-    levels: u32,
+/// Graph of one coarse step for an arbitrary level topology and starting
+/// buffer parities (see [`crate::program::step_ops`]).
+pub fn step_graph_for(
+    topo: &[LevelTopo],
     variant: Variant,
-) {
-    if l + 1 < levels {
-        rec_step(g, bufs, acc, flip, l + 1, levels, variant);
-        rec_step(g, bufs, acc, flip, l + 1, levels, variant);
+    start_halves: &[u8],
+    time_interp: bool,
+) -> TaskGraph {
+    let ops = program::step_ops(topo, variant, start_halves);
+    let mut g = TaskGraph::new();
+    for op in &ops {
+        g.push(program::kernel_node(op, topo, time_interp));
     }
-    let li = l as usize;
-    let cfg = variant.config();
-    let finest = l + 1 == levels;
-    let fuse_cs = cfg.all_collide_stream || (cfg.finest_collide_stream && finest);
-    let src = bufs[li][flip[li]];
-    let dst = bufs[li][1 - flip[li]];
-    let has_ghosts = l + 1 < levels;
-    let explodes = l > 0;
-
-    if fuse_cs {
-        let mut reads = vec![src];
-        if explodes {
-            reads.push(bufs[li - 1][flip[li - 1]]);
-        }
-        if has_ghosts {
-            reads.push(acc[li]);
-        }
-        let atomics = if explodes { vec![acc[li - 1]] } else { vec![] };
-        g.push(node(format!("CASE{l}"), l, reads, vec![dst], atomics));
-    } else {
-        // Streaming (with optional inline E/O).
-        let mut reads = vec![src];
-        let mut label = String::from("S");
-        if cfg.stream_explosion && explodes {
-            reads.push(bufs[li - 1][flip[li - 1]]);
-            label.push('E');
-        }
-        if cfg.stream_coalesce && has_ghosts {
-            reads.push(acc[li]);
-            label.push('O');
-        }
-        g.push(node(format!("{label}{l}"), l, reads, vec![dst], vec![]));
-        if !cfg.stream_explosion && explodes {
-            g.push(node(
-                format!("E{l}"),
-                l,
-                vec![bufs[li - 1][flip[li - 1]]],
-                vec![dst],
-                vec![],
-            ));
-        }
-        if !cfg.stream_coalesce && has_ghosts {
-            g.push(node(format!("O{l}"), l, vec![acc[li]], vec![dst], vec![]));
-        }
-        // Collision (with optional fused Accumulate scatter).
-        if cfg.collide_accumulate {
-            let atomics = if explodes { vec![acc[li - 1]] } else { vec![] };
-            let label = if explodes { "CA" } else { "C" };
-            g.push(node(format!("{label}{l}"), l, vec![dst], vec![dst], atomics));
-        } else {
-            g.push(node(format!("C{l}"), l, vec![dst], vec![dst], vec![]));
-            if explodes {
-                // Gather Accumulate initiated from the coarse side.
-                g.push(node(
-                    format!("A{l}"),
-                    l,
-                    vec![dst],
-                    vec![acc[li - 1]],
-                    vec![],
-                ));
-            }
-        }
-    }
-    if has_ghosts {
-        g.push(node(format!("R{l}"), l, vec![], vec![acc[li]], vec![]));
-    }
-    flip[li] = 1 - flip[li];
+    g
 }
 
 #[cfg(test)]

@@ -356,8 +356,12 @@ pub fn stream<T: Real, V: VelocitySet>(
     let cpb = inp.grid.cells_per_block();
     let stride = dst.block_stride();
     // Traffic: q loads (neighbors) + q stores per real cell.
-    let cost = LaunchCost::per_cell(real_cells, q as u64, q as u64, 0, value_bytes::<T>())
-        .with_thread_block(cpb);
+    let cost = LaunchCost::cells(real_cells)
+        .loads(q as u64)
+        .stores(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(cpb)
+        .build();
     let grid = inp.grid;
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let g = BlockGather::new(grid, inp.src, b);
@@ -469,8 +473,12 @@ pub fn explosion<T: Real, V: VelocitySet>(
     );
     // Traffic: touching only interface links, but the launch still scans
     // block metadata — the paper's point about unfused kernels.
-    let cost = LaunchCost::per_cell(interface_cells, q as u64, q as u64, 0, value_bytes::<T>())
-        .with_thread_block(cpb);
+    let cost = LaunchCost::cells(interface_cells)
+        .loads(q as u64)
+        .stores(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(cpb)
+        .build();
     // Unlike stream/fused_stream_collide there is no `V::C` table to hoist
     // here: the kernel walks precomputed link sets and never consults
     // direction components.
@@ -500,8 +508,12 @@ pub fn coalesce<T: Real, V: VelocitySet>(
     let q = V::Q;
     let cpb = inp.grid.cells_per_block();
     let stride = dst.block_stride();
-    let cost = LaunchCost::per_cell(interface_cells, q as u64, q as u64, 0, value_bytes::<T>())
-        .with_thread_block(cpb);
+    let cost = LaunchCost::cells(interface_cells)
+        .loads(q as u64)
+        .stores(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(cpb)
+        .build();
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let links = &inp.links[b as usize];
         for set in &links.cells {
@@ -534,8 +546,12 @@ pub fn collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
     let cpb = grid.cells_per_block();
     let stride = dst.block_stride();
     // Traffic: q loads + q stores per real cell.
-    let cost = LaunchCost::per_cell(real_cells, q as u64, q as u64, 0, value_bytes::<T>())
-        .with_thread_block(cpb);
+    let cost = LaunchCost::cells(real_cells)
+        .loads(q as u64)
+        .stores(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(cpb)
+        .build();
     let _ = block_flags;
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let blk = grid.block(b);
@@ -570,8 +586,12 @@ pub fn accumulate_scatter<T: Real, V: VelocitySet>(
     interface_cells: u64,
 ) {
     let q = V::Q;
-    let cost = LaunchCost::per_cell(interface_cells, q as u64, 0, q as u64, value_bytes::<T>())
-        .with_thread_block(grid.cells_per_block());
+    let cost = LaunchCost::cells(interface_cells)
+        .loads(q as u64)
+        .atomics(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(grid.cells_per_block())
+        .build();
     exec.launch(name, grid.num_blocks(), cost, |b| {
         if tables.targets[b as usize].is_none() {
             return;
@@ -602,8 +622,12 @@ pub fn accumulate_gather<T: Real, V: VelocitySet>(
 ) {
     let q = V::Q;
     // 8 child loads per ghost per component + 1 store.
-    let cost = LaunchCost::per_cell(ghost_cells, 8 * q as u64, q as u64, 0, value_bytes::<T>())
-        .with_thread_block(coarse_grid.cells_per_block());
+    let cost = LaunchCost::cells(ghost_cells)
+        .loads(8 * q as u64)
+        .stores(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(coarse_grid.cells_per_block())
+        .build();
     exec.launch(name, coarse_grid.num_blocks(), cost, |b| {
         for e in &gather[b as usize] {
             for i in 0..q {
@@ -641,8 +665,12 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
     let q = V::Q;
     let cpb = inp.grid.cells_per_block();
     let stride = dst.block_stride();
-    let cost = LaunchCost::per_cell(real_cells, q as u64, q as u64, 0, value_bytes::<T>())
-        .with_thread_block(cpb);
+    let cost = LaunchCost::cells(real_cells)
+        .loads(q as u64)
+        .stores(q as u64)
+        .value_bytes(value_bytes::<T>())
+        .thread_block(cpb)
+        .build();
     let grid = inp.grid;
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let blk = grid.block(b);
@@ -744,8 +772,10 @@ pub fn reset_accumulators(
     ghost_cells: u64,
     q: usize,
 ) {
-    let cost = LaunchCost::per_cell(ghost_cells, 0, q as u64, 0, 8)
-        .with_thread_block(coarse_grid.cells_per_block());
+    let cost = LaunchCost::cells(ghost_cells)
+        .stores(q as u64)
+        .thread_block(coarse_grid.cells_per_block())
+        .build();
     exec.launch(name, coarse_grid.num_blocks(), cost, |b| {
         for e in &gather[b as usize] {
             for i in 0..q {

@@ -13,7 +13,10 @@
 //! - [`flags`] / [`links`] / [`level`]: the per-level data structure;
 //! - [`kernels`]: the C/S/E/O/A kernels, separate and fused (§III–IV);
 //! - [`variant`]: the fusion configurations of Fig. 4/Fig. 9;
-//! - [`engine`]: the nonuniform time stepper (Algorithm 1, restructured);
+//! - [`program`]: the unified step program (launch sequence + declared
+//!   accesses), shared by execution and the graphs;
+//! - [`engine`]: the nonuniform time stepper (Algorithm 1, restructured),
+//!   executing the program eagerly or wave-scheduled from the graph;
 //! - [`graphs`]: Fig.-2 dependency-graph generators;
 //! - [`memory_report`]: ghost-layer and capacity accounting (§IV-A, §VI-B);
 //! - [`aa`]: the AA-pattern single-buffer uniform solver (paper ref. [7]),
@@ -31,13 +34,14 @@ pub mod level;
 pub mod links;
 pub mod memory_report;
 pub mod multigrid;
+pub mod program;
 pub mod spec;
 pub mod variant;
 
 pub use aa::AaSolver;
 pub use boundary::{AllWalls, Boundary, BoundarySpec};
-pub use engine::Engine;
-pub use graphs::{alg1_graph, step_graph};
+pub use engine::{Engine, EngineBuilder, EngineBuilderWithOp, ExecMode};
+pub use graphs::{alg1_graph, step_graph, step_graph_for};
 pub use kernels::InteriorPath;
 pub use level::Level;
 pub use memory_report::{plan_hypothetical, report, MemoryReport};

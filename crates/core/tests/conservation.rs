@@ -19,12 +19,10 @@ fn slab() -> Eng {
     })
     .with_periodic([true, false, true]);
     let grid = Mg::build(spec, &AllWalls, 1.7);
-    Eng::new(
-        grid,
-        Bgk::new(1.7),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    )
+    Engine::builder(grid)
+        .collision(Bgk::new(1.7))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()))
 }
 
 fn drift_after(eng: &mut Eng, steps: usize) -> f64 {
@@ -87,12 +85,10 @@ fn cubic_region_corner_error_is_bounded() {
         l == 0 && (4..12).contains(&p.x) && (4..12).contains(&p.y) && (4..12).contains(&p.z)
     });
     let grid = Mg::build(spec, &AllWalls, 1.7);
-    let mut eng = Eng::new(
-        grid,
-        Bgk::new(1.7),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.7))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(
         |_, _| 1.0,
         |l, p| {
@@ -117,12 +113,10 @@ fn momentum_conserved_in_fully_periodic_refined_box() {
     })
     .with_periodic([true, true, true]);
     let grid = Mg::build(spec, &AllWalls, 1.6);
-    let mut eng = Eng::new(
-        grid,
-        Bgk::new(1.6),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.6))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(
         |_, _| 1.0,
         |l, p| {

@@ -84,13 +84,11 @@ fn build<V: VelocitySet>(c: &Case, path: InteriorPath) -> Engine<f64, V, Bgk<f64
     } else {
         Variant::ModifiedBaseline
     };
-    let mut eng = Engine::new(
-        grid,
-        Bgk::new(c.omega0),
-        variant,
-        Executor::sequential(DeviceModel::a100_40gb()),
-    );
-    eng.set_interior_path(path);
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(c.omega0))
+        .variant(variant)
+        .interior_path(path)
+        .build(Executor::sequential(DeviceModel::a100_40gb()));
     let u = c.u;
     eng.grid.init_equilibrium(|_, _| 1.0, move |_, _| u);
     // Kick every slot off equilibrium with a deterministic multiplicative
@@ -200,13 +198,11 @@ fn interior_paths_bit_identical_uniform() {
         .map(|&p| {
             let spec = GridSpec::uniform(Box3::from_dims(32, 32, 32)).with_block_size(8);
             let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, 1.5);
-            let mut eng = Engine::new(
-                grid,
-                Bgk::new(1.5),
-                variant,
-                Executor::sequential(DeviceModel::a100_40gb()),
-            );
-            eng.set_interior_path(p);
+            let mut eng = Engine::builder(grid)
+                .collision(Bgk::new(1.5))
+                .variant(variant)
+                .interior_path(p)
+                .build(Executor::sequential(DeviceModel::a100_40gb()));
             eng.grid
                 .init_equilibrium(|_, _| 1.0, |_, p| [0.02 * (p.x as f64 * 0.3).sin(), 0.01, 0.0]);
             eng.run(3);

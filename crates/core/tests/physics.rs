@@ -19,7 +19,10 @@ fn two_level_box_spec() -> GridSpec {
 
 fn engine(spec: GridSpec, omega0: f64, variant: Variant) -> Eng {
     let grid = Mg::build(spec, &AllWalls, omega0);
-    Engine::new(grid, Bgk::new(omega0), variant, Executor::new(DeviceModel::a100_40gb()))
+    Engine::builder(grid)
+        .collision(Bgk::new(omega0))
+        .variant(variant)
+        .build(Executor::new(DeviceModel::a100_40gb()))
 }
 
 #[test]
@@ -83,12 +86,10 @@ fn mass_conserved_to_roundoff_for_slab_interface() {
     })
     .with_periodic([true, false, true]);
     let grid = Mg::build(spec, &AllWalls, 1.7);
-    let mut eng = Eng::new(
-        grid,
-        Bgk::new(1.7),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.7))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(
         |_, _| 1.0,
         |l, p| {
@@ -260,12 +261,10 @@ fn couette_profile_is_linear_across_interface() {
     };
     let omega0 = 1.3;
     let grid = Mg::build(spec, &bc, omega0);
-    let mut eng = Eng::new(
-        grid,
-        Bgk::new(omega0),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(omega0))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
     eng.run(4000);
 
@@ -317,12 +316,10 @@ fn d2q9_couette_runs_in_plane() {
         }
     };
     let grid = MultiGrid::<f64, D2Q9>::build(spec, &bc, 1.4);
-    let mut eng = Engine::<f64, D2Q9, Bgk<f64>>::new(
-        grid,
-        Bgk::new(1.4),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.4))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
     eng.run(3000);
     // Linear profile between the halfway walls.

@@ -6,8 +6,11 @@
 //! and per kernel name, together with measured wall-clock time, so that
 //! reports can show both measured and modeled performance side by side.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -44,16 +47,45 @@ impl Default for LaunchCost {
 }
 
 impl LaunchCost {
-    /// Cost of a kernel touching `cells` cells with the given per-cell
-    /// loads/stores of `value_bytes`-sized values.
-    pub fn per_cell(cells: u64, loads: u64, stores: u64, atomics: u64, value_bytes: u64) -> Self {
-        Self {
+    /// Starts the named per-cell cost builder: a kernel touching `cells`
+    /// cells, with per-cell traffic declared by
+    /// [`loads`](LaunchCostBuilder::loads) /
+    /// [`stores`](LaunchCostBuilder::stores) /
+    /// [`atomics`](LaunchCostBuilder::atomics) counts of
+    /// [`value_bytes`](LaunchCostBuilder::value_bytes)-sized values
+    /// (default 8, an `f64`).
+    ///
+    /// ```
+    /// # use lbm_gpu::LaunchCost;
+    /// let c = LaunchCost::cells(100).loads(19).stores(19).value_bytes(4).build();
+    /// assert_eq!(c.bytes_read, 100 * 19 * 4);
+    /// ```
+    pub fn cells(cells: u64) -> LaunchCostBuilder {
+        LaunchCostBuilder {
             cells,
-            bytes_read: cells * loads * value_bytes,
-            bytes_written: cells * stores * value_bytes,
-            atomic_bytes: cells * atomics * value_bytes,
+            loads: 0,
+            stores: 0,
+            atomics: 0,
+            value_bytes: 8,
             occupancy: 1.0,
         }
+    }
+
+    /// Cost of a kernel touching `cells` cells with the given per-cell
+    /// loads/stores of `value_bytes`-sized values.
+    #[deprecated(note = "use the named builder: LaunchCost::cells(n).loads(..).stores(..).build()")]
+    pub fn per_cell(cells: u64, loads: u64, stores: u64, atomics: u64, value_bytes: u64) -> Self {
+        LaunchCost::cells(cells)
+            .loads(loads)
+            .stores(stores)
+            .atomics(atomics)
+            .value_bytes(value_bytes)
+            .build()
+    }
+
+    /// Total declared traffic (reads + plain writes + atomic writes).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written + self.atomic_bytes
     }
 
     /// Sets the warp occupancy from a thread-block size (cells per memory
@@ -73,6 +105,70 @@ impl LaunchCost {
             atomic_bytes: self.atomic_bytes + o.atomic_bytes,
             occupancy: self.occupancy.min(o.occupancy),
         }
+    }
+}
+
+/// Named builder for per-cell [`LaunchCost`]s (see [`LaunchCost::cells`]).
+/// Counts are *per cell*; byte totals are formed by
+/// [`build`](LaunchCostBuilder::build).
+#[derive(Copy, Clone, Debug)]
+#[must_use = "finish the builder with .build()"]
+pub struct LaunchCostBuilder {
+    cells: u64,
+    loads: u64,
+    stores: u64,
+    atomics: u64,
+    value_bytes: u64,
+    occupancy: f64,
+}
+
+impl LaunchCostBuilder {
+    /// Per-cell count of values loaded from device memory.
+    pub fn loads(mut self, per_cell: u64) -> Self {
+        self.loads = per_cell;
+        self
+    }
+
+    /// Per-cell count of values written with plain stores.
+    pub fn stores(mut self, per_cell: u64) -> Self {
+        self.stores = per_cell;
+        self
+    }
+
+    /// Per-cell count of values written through atomic read-modify-write.
+    pub fn atomics(mut self, per_cell: u64) -> Self {
+        self.atomics = per_cell;
+        self
+    }
+
+    /// Size in bytes of one value (default 8).
+    pub fn value_bytes(mut self, bytes: u64) -> Self {
+        self.value_bytes = bytes;
+        self
+    }
+
+    /// Sets the warp occupancy from a thread-block size, as
+    /// [`LaunchCost::with_thread_block`].
+    pub fn thread_block(mut self, threads: usize) -> Self {
+        self.occupancy = (threads as f64 / 32.0).min(1.0);
+        self
+    }
+
+    /// Finishes the builder into a [`LaunchCost`].
+    pub fn build(self) -> LaunchCost {
+        LaunchCost {
+            cells: self.cells,
+            bytes_read: self.cells * self.loads * self.value_bytes,
+            bytes_written: self.cells * self.stores * self.value_bytes,
+            atomic_bytes: self.cells * self.atomics * self.value_bytes,
+            occupancy: self.occupancy,
+        }
+    }
+}
+
+impl From<LaunchCostBuilder> for LaunchCost {
+    fn from(b: LaunchCostBuilder) -> Self {
+        b.build()
     }
 }
 
@@ -129,11 +225,51 @@ fn stall_bytes(cost: &LaunchCost) -> u64 {
     (traffic * (1.0 / cost.occupancy.max(1e-3) - 1.0)) as u64
 }
 
+/// One kernel execution interval captured while span tracing is enabled:
+/// what ran, when, where (wave/stream of the graph executor), and how much
+/// traffic it declared.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct KernelSpan {
+    /// Kernel name as passed to the launch.
+    pub name: &'static str,
+    /// Wave index of the graph executor, if the launch was dispatched from
+    /// a wave (eager launches record `None`).
+    pub wave: Option<u32>,
+    /// Virtual stream id within the wave, if any.
+    pub stream: Option<u32>,
+    /// Start time in microseconds since the profiler epoch.
+    pub start_us: f64,
+    /// Measured wall duration in microseconds.
+    pub dur_us: f64,
+    /// Declared traffic (reads + writes + atomics) in bytes.
+    pub bytes: u64,
+    /// Cells processed.
+    pub cells: u64,
+}
+
+thread_local! {
+    /// `(wave, stream)` of the kernel the current thread is dispatching.
+    static SPAN_CTX: Cell<Option<(u32, u32)>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the thread's span context set to `(wave, stream)`; any
+/// kernel launch recorded inside picks the ids up into its [`KernelSpan`].
+/// The previous context is restored on exit (dispatchers nest).
+pub fn with_span_context<R>(wave: u32, stream: u32, f: impl FnOnce() -> R) -> R {
+    SPAN_CTX.with(|c| {
+        let prev = c.replace(Some((wave, stream)));
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
 /// Thread-safe profiler shared by the executor.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Profiler {
     launches: AtomicU64,
     syncs: AtomicU64,
+    waves: AtomicU64,
     cells: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
@@ -141,6 +277,29 @@ pub struct Profiler {
     stall_bytes: AtomicU64,
     wall_ns: AtomicU64,
     per_kernel: Mutex<BTreeMap<&'static str, KernelStats>>,
+    tracing: AtomicBool,
+    epoch: Instant,
+    spans: Mutex<Vec<KernelSpan>>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self {
+            launches: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            cells: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            atomic_bytes: AtomicU64::new(0),
+            stall_bytes: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            per_kernel: Mutex::new(BTreeMap::new()),
+            tracing: AtomicBool::new(false),
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Profiler {
@@ -163,11 +322,54 @@ impl Profiler {
         self.wall_ns
             .fetch_add((wall_us * 1e3) as u64, Ordering::Relaxed);
         self.per_kernel.lock().entry(name).or_default().add(cost, wall_us);
+        if self.tracing.load(Ordering::Relaxed) {
+            let end_us = self.epoch.elapsed().as_secs_f64() * 1e6;
+            let ctx = SPAN_CTX.with(Cell::get);
+            self.spans.lock().push(KernelSpan {
+                name,
+                wave: ctx.map(|(w, _)| w),
+                stream: ctx.map(|(_, s)| s),
+                start_us: (end_us - wall_us).max(0.0),
+                dur_us: wall_us,
+                bytes: cost.traffic_bytes(),
+                cells: cost.cells,
+            });
+        }
     }
 
     /// Records one synchronization point (dependency-graph barrier).
     pub fn record_sync(&self) {
         self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the start of one executor wave (a group of kernels
+    /// dispatched concurrently by the graph executor). While any waves are
+    /// recorded, [`Profiler::modeled_us`] charges launch overhead per
+    /// *wave* instead of per launch — concurrent submissions overlap their
+    /// launch latency on a real device.
+    pub fn record_wave(&self) {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Enables or disables kernel-span tracing (off by default: tracing
+    /// appends to a span list on every launch).
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether span tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the recorded kernel spans.
+    pub fn spans(&self) -> Vec<KernelSpan> {
+        self.spans.lock().clone()
+    }
+
+    /// Executor waves recorded so far.
+    pub fn waves(&self) -> u64 {
+        self.waves.load(Ordering::Relaxed)
     }
 
     /// Total launches so far.
@@ -209,10 +411,18 @@ impl Profiler {
 
     /// Modeled total device time in microseconds, including syncs and
     /// warp-underutilization stalls.
+    ///
+    /// When waves were recorded (graph execution), launch overhead is
+    /// charged once per wave: kernels of a wave are submitted to distinct
+    /// streams, so their launch latencies overlap. Bandwidth is shared
+    /// either way — total traffic divides by the same device bandwidth —
+    /// so the wave makespan equals overhead + summed transfer time.
     pub fn modeled_us(&self, device: &DeviceModel) -> f64 {
         let t = self.total();
+        let waves = self.waves();
+        let launch_groups = if waves > 0 { waves } else { t.launches };
         device.total_time_us(
-            t.launches,
+            launch_groups,
             self.syncs(),
             t.bytes_read + t.stall_bytes,
             t.bytes_written,
@@ -220,10 +430,82 @@ impl Profiler {
         )
     }
 
-    /// Resets every counter to zero.
+    /// Per-wave text summary of the recorded spans: kernel count, names,
+    /// total declared bytes, and the wave's measured makespan (max end −
+    /// min start over its spans). Eager launches (no wave id) are grouped
+    /// under a trailing "unwaved" line. Empty if tracing was off.
+    pub fn wave_summary(&self) -> String {
+        let spans = self.spans();
+        let mut by_wave: BTreeMap<Option<u32>, Vec<&KernelSpan>> = BTreeMap::new();
+        for s in &spans {
+            by_wave.entry(s.wave).or_default().push(s);
+        }
+        let mut out = String::new();
+        for (wave, group) in &by_wave {
+            let bytes: u64 = group.iter().map(|s| s.bytes).sum();
+            let start = group.iter().map(|s| s.start_us).fold(f64::INFINITY, f64::min);
+            let end = group
+                .iter()
+                .map(|s| s.start_us + s.dur_us)
+                .fold(0.0_f64, f64::max);
+            let names: Vec<&str> = group.iter().map(|s| s.name).collect();
+            let head = match wave {
+                Some(w) => format!("wave {w:>3}"),
+                None => "unwaved ".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{head}: {:>2} kernels  {:>12} B  makespan {:>9.3} us  [{}]",
+                group.len(),
+                bytes,
+                (end - start).max(0.0),
+                names.join(" ")
+            );
+        }
+        out
+    }
+
+    /// Serializes the recorded spans as chrome://tracing JSON (the "trace
+    /// event format", `ph: "X"` complete events). Load the file at
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. Rows (`tid`) are
+    /// virtual stream ids; timestamps are normalized to the earliest span.
+    pub fn chrome_trace_json(&self) -> String {
+        let spans = self.spans();
+        let t0 = spans
+            .iter()
+            .map(|s| s.start_us)
+            .fold(f64::INFINITY, f64::min);
+        let t0 = if t0.is_finite() { t0 } else { 0.0 };
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let wave = s.wave.map_or(-1i64, i64::from);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"wave\":{},\
+                 \"bytes\":{},\"cells\":{}}}}}",
+                s.name,
+                s.start_us - t0,
+                s.dur_us,
+                s.stream.unwrap_or(0),
+                wave,
+                s.bytes,
+                s.cells
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Resets every counter to zero (tracing enablement and the time epoch
+    /// are kept).
     pub fn reset(&self) {
         self.launches.store(0, Ordering::Relaxed);
         self.syncs.store(0, Ordering::Relaxed);
+        self.waves.store(0, Ordering::Relaxed);
         self.cells.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
@@ -231,6 +513,7 @@ impl Profiler {
         self.stall_bytes.store(0, Ordering::Relaxed);
         self.wall_ns.store(0, Ordering::Relaxed);
         self.per_kernel.lock().clear();
+        self.spans.lock().clear();
     }
 }
 
@@ -240,7 +523,7 @@ mod tests {
 
     #[test]
     fn per_cell_cost() {
-        let c = LaunchCost::per_cell(100, 19, 19, 0, 8);
+        let c = LaunchCost::cells(100).loads(19).stores(19).build();
         assert_eq!(c.cells, 100);
         assert_eq!(c.bytes_read, 100 * 19 * 8);
         assert_eq!(c.bytes_written, 100 * 19 * 8);
@@ -248,9 +531,22 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_per_cell_matches_builder() {
+        let old = LaunchCost::per_cell(100, 19, 7, 2, 4);
+        let new = LaunchCost::cells(100)
+            .loads(19)
+            .stores(7)
+            .atomics(2)
+            .value_bytes(4)
+            .build();
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn merge_sums() {
-        let a = LaunchCost::per_cell(10, 1, 1, 1, 8);
-        let b = LaunchCost::per_cell(5, 2, 0, 0, 8);
+        let a = LaunchCost::cells(10).loads(1).stores(1).atomics(1).build();
+        let b = LaunchCost::cells(5).loads(2).build();
         let m = a.merge(b);
         assert_eq!(m.cells, 15);
         assert_eq!(m.bytes_read, 80 + 80);
@@ -261,9 +557,10 @@ mod tests {
     #[test]
     fn profiler_aggregates() {
         let p = Profiler::new();
-        p.record_launch("collide", LaunchCost::per_cell(64, 19, 19, 0, 8), 12.0);
-        p.record_launch("collide", LaunchCost::per_cell(64, 19, 19, 0, 8), 10.0);
-        p.record_launch("stream", LaunchCost::per_cell(64, 19, 19, 0, 8), 8.0);
+        let c = LaunchCost::cells(64).loads(19).stores(19).build();
+        p.record_launch("collide", c, 12.0);
+        p.record_launch("collide", c, 10.0);
+        p.record_launch("stream", c, 8.0);
         p.record_sync();
         assert_eq!(p.launches(), 3);
         assert_eq!(p.syncs(), 1);
@@ -279,13 +576,86 @@ mod tests {
     #[test]
     fn profiler_reset() {
         let p = Profiler::new();
-        p.record_launch("k", LaunchCost::per_cell(1, 1, 1, 0, 8), 1.0);
+        p.set_tracing(true);
+        p.record_launch("k", LaunchCost::cells(1).loads(1).stores(1).build(), 1.0);
         p.record_sync();
+        p.record_wave();
         p.reset();
         assert_eq!(p.launches(), 0);
         assert_eq!(p.syncs(), 0);
+        assert_eq!(p.waves(), 0);
         assert_eq!(p.total(), KernelStats::default());
         assert!(p.per_kernel().is_empty());
+        assert!(p.spans().is_empty());
+        assert!(p.tracing(), "tracing enablement survives reset");
+    }
+
+    #[test]
+    fn spans_capture_wave_context() {
+        let p = Profiler::new();
+        let c = LaunchCost::cells(10).loads(2).stores(1).build();
+        p.record_launch("before", c, 1.0);
+        assert!(p.spans().is_empty(), "tracing off: no spans");
+        p.set_tracing(true);
+        p.record_launch("eager", c, 1.0);
+        with_span_context(3, 1, || p.record_launch("waved", c, 2.0));
+        let spans = p.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "eager");
+        assert_eq!(spans[0].wave, None);
+        assert_eq!(spans[1].name, "waved");
+        assert_eq!(spans[1].wave, Some(3));
+        assert_eq!(spans[1].stream, Some(1));
+        assert_eq!(spans[1].bytes, 10 * 3 * 8);
+        assert_eq!(spans[1].cells, 10);
+    }
+
+    #[test]
+    fn span_context_restores_on_exit() {
+        with_span_context(1, 0, || {
+            with_span_context(2, 5, || {
+                assert_eq!(SPAN_CTX.with(Cell::get), Some((2, 5)));
+            });
+            assert_eq!(SPAN_CTX.with(Cell::get), Some((1, 0)));
+        });
+        assert_eq!(SPAN_CTX.with(Cell::get), None);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let p = Profiler::new();
+        p.set_tracing(true);
+        let c = LaunchCost::cells(4).loads(1).build();
+        with_span_context(0, 0, || p.record_launch("a", c, 1.0));
+        with_span_context(0, 1, || p.record_launch("b", c, 1.0));
+        let json = p.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"a\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":1"));
+        // Timestamps normalize: earliest span starts at ts 0.
+        assert!(json.contains("\"ts\":0.000"));
+        let summary = p.wave_summary();
+        assert!(summary.contains("wave   0"));
+        assert!(summary.contains("2 kernels"));
+    }
+
+    #[test]
+    fn waves_shrink_modeled_launch_overhead() {
+        let d = DeviceModel::a100_40gb();
+        let c = LaunchCost::cells(1).loads(1).build();
+        let serial = Profiler::new();
+        serial.record_launch("a", c, 0.0);
+        serial.record_launch("b", c, 0.0);
+        let waved = Profiler::new();
+        waved.record_wave();
+        waved.record_launch("a", c, 0.0);
+        waved.record_launch("b", c, 0.0);
+        let saved = serial.modeled_us(&d) - waved.modeled_us(&d);
+        assert!(
+            (saved - d.launch_overhead_us).abs() < 1e-9,
+            "one wave of two launches saves one launch overhead, saved {saved}"
+        );
     }
 
     #[test]
@@ -301,11 +671,12 @@ mod tests {
     #[test]
     fn profiler_is_thread_safe() {
         let p = Profiler::new();
+        let c = LaunchCost::cells(1).loads(1).stores(1).build();
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
                     for _ in 0..100 {
-                        p.record_launch("k", LaunchCost::per_cell(1, 1, 1, 0, 8), 0.5);
+                        p.record_launch("k", c, 0.5);
                     }
                 });
             }

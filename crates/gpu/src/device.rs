@@ -76,6 +76,25 @@ impl DeviceModel {
             + (plain + atomics) / self.effective_bytes_per_us()
     }
 
+    /// Modeled makespan (µs) of one *wave* of concurrently-submitted
+    /// kernels. Launch latencies overlap across streams (one overhead per
+    /// wave), while DRAM bandwidth is shared: the wave completes when the
+    /// summed traffic of all its kernels has moved through the device.
+    pub fn wave_time_us(&self, costs: &[super::counters::LaunchCost]) -> f64 {
+        if costs.is_empty() {
+            return 0.0;
+        }
+        let mut plain = 0u64;
+        let mut atomic = 0u64;
+        for c in costs {
+            plain += c.bytes_read + c.bytes_written;
+            atomic += c.atomic_bytes;
+        }
+        self.launch_overhead_us
+            + (plain as f64 + atomic as f64 * self.atomic_cost_factor)
+                / self.effective_bytes_per_us()
+    }
+
     /// How many cells of a `q`-component double-buffered population field
     /// (plus topology overhead fraction `meta_overhead`) fit in memory.
     pub fn capacity_cells(&self, q: usize, bytes_per_value: usize, buffers: usize, meta_overhead: f64) -> u64 {
@@ -128,6 +147,25 @@ mod tests {
         let two = d.total_time_us(2, 1, 1 << 26, 1 << 26, 0);
         let fused = d.total_time_us(1, 0, 1 << 26, 1 << 26, 0);
         assert!((two - fused - d.launch_overhead_us - d.sync_overhead_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wave_makespan_overlaps_launches() {
+        use crate::counters::LaunchCost;
+        let d = DeviceModel::a100_40gb();
+        let a = LaunchCost::cells(1 << 20).loads(19).stores(19).build();
+        let b = LaunchCost::cells(1 << 18).loads(19).stores(19).atomics(1).build();
+        let serial = d.total_time_us(
+            2,
+            0,
+            a.bytes_read + b.bytes_read,
+            a.bytes_written + b.bytes_written,
+            a.atomic_bytes + b.atomic_bytes,
+        );
+        let wave = d.wave_time_us(&[a, b]);
+        // Same traffic, but one launch overhead instead of two.
+        assert!((serial - wave - d.launch_overhead_us).abs() < 1e-9);
+        assert_eq!(d.wave_time_us(&[]), 0.0);
     }
 
     #[test]

@@ -161,6 +161,13 @@ impl Executor {
     pub fn sync(&self) {
         self.profiler.record_sync();
     }
+
+    /// Marks the start of one wave of concurrently-dispatched kernels (graph
+    /// execution). Pure accounting: once any wave is recorded, the profiler's
+    /// cost model charges launch overhead per wave instead of per launch.
+    pub fn begin_wave(&self) {
+        self.profiler.record_wave();
+    }
 }
 
 impl Default for Executor {
@@ -229,9 +236,9 @@ mod tests {
     #[test]
     fn profiling_accumulates_cost_and_syncs() {
         let ex = Executor::default();
-        ex.launch("a", 4, LaunchCost::per_cell(256, 19, 19, 0, 8), |_| {});
+        ex.launch("a", 4, LaunchCost::cells(256).loads(19).stores(19).build(), |_| {});
         ex.sync();
-        ex.launch("b", 4, LaunchCost::per_cell(128, 19, 19, 2, 8), |_| {});
+        ex.launch("b", 4, LaunchCost::cells(128).loads(19).stores(19).atomics(2).build(), |_| {});
         let t = ex.profiler().total();
         assert_eq!(t.launches, 2);
         assert_eq!(t.cells, 384);

@@ -28,7 +28,9 @@ pub mod exec;
 pub mod memory;
 
 pub use atomic::AtomicF64Field;
-pub use counters::{KernelStats, LaunchCost, Profiler};
+pub use counters::{
+    with_span_context, KernelSpan, KernelStats, LaunchCost, LaunchCostBuilder, Profiler,
+};
 pub use device::DeviceModel;
 pub use exec::Executor;
 pub use memory::{max_uniform_cube, MemoryPlan};

@@ -173,7 +173,10 @@ impl AirplaneFlow {
     pub fn engine(&self, variant: Variant, exec: Executor) -> AirplaneEngine {
         let bc = tunnel_boundary(self.config.size, self.config.levels, self.config.u_inlet);
         let grid = MultiGrid::<f64, D3Q27>::build(self.spec(), &bc, self.omega0);
-        let mut eng = Engine::new(grid, Kbc::new(self.omega0), variant, exec);
+        let mut eng = Engine::builder(grid)
+            .collision(Kbc::new(self.omega0))
+            .variant(variant)
+            .build(exec);
         let u = self.config.u_inlet;
         eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [u, 0.0, 0.0]);
         eng

@@ -126,9 +126,25 @@ impl Cavity {
 
     /// Builds the BGK/D3Q19 engine (paper's laminar setup) at rest.
     pub fn engine(&self, variant: Variant, exec: Executor) -> CavityEngine {
+        self.engine_with(variant, exec, |b| b)
+    }
+
+    /// Like [`Cavity::engine`] but lets the caller adjust the builder
+    /// (interior path, execution mode, …) before assembly.
+    pub fn engine_with(
+        &self,
+        variant: Variant,
+        exec: Executor,
+        configure: impl FnOnce(
+            lbm_core::EngineBuilderWithOp<f64, D3Q19, Bgk<f64>>,
+        ) -> lbm_core::EngineBuilderWithOp<f64, D3Q19, Bgk<f64>>,
+    ) -> CavityEngine {
         let bc = self.boundary();
         let grid = MultiGrid::<f64, D3Q19>::build(self.spec(), &bc, self.omega0);
-        let mut eng = Engine::new(grid, Bgk::new(self.omega0), variant, exec);
+        let builder = Engine::builder(grid)
+            .collision(Bgk::new(self.omega0))
+            .variant(variant);
+        let mut eng = configure(builder).build(exec);
         eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
         eng
     }

@@ -81,8 +81,11 @@ impl Tgv {
     /// Builds the engine initialized with the Taylor–Green field.
     pub fn engine(&self, variant: Variant, exec: Executor) -> TgvEngine {
         let grid = MultiGrid::<f64, D3Q19>::build(self.spec(), &AllWalls, self.omega0);
-        let mut eng = Engine::new(grid, Bgk::new(self.omega0), variant, exec);
-        eng.set_time_interpolation(self.config.time_interp);
+        let mut eng = Engine::builder(grid)
+            .collision(Bgk::new(self.omega0))
+            .variant(variant)
+            .time_interpolation(self.config.time_interp)
+            .build(exec);
         let n = self.config.n as f64;
         let u0 = self.config.u0;
         let levels = self.config.levels;

@@ -12,7 +12,6 @@
 //! - the minimal synchronization-point count (waves of an ASAP schedule),
 //! - a Graphviz DOT rendering of the Fig. 2 style graph.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Handle to a registered field.
@@ -77,6 +76,13 @@ pub struct TaskGraph {
     nodes: Vec<KernelNode>,
     /// `edges[j]` lists the predecessors of node `j`.
     preds: Vec<Vec<usize>>,
+    /// ASAP wave index per node, maintained incrementally by
+    /// [`TaskGraph::push`] (`wave[j] = 1 + max(wave[preds])`). Cached so
+    /// `waves`/`sync_count`/`max_concurrency` and the executor never
+    /// recompute the partition.
+    wave: Vec<usize>,
+    /// Node count per wave (`wave_counts.len()` = number of waves).
+    wave_counts: Vec<usize>,
 }
 
 impl TaskGraph {
@@ -100,6 +106,14 @@ impl TaskGraph {
                 preds.push(i);
             }
         }
+        // Predecessors always have smaller indices, so the ASAP wave of the
+        // new node is final the moment it is pushed.
+        let w = preds.iter().map(|&i| self.wave[i] + 1).max().unwrap_or(0);
+        if w >= self.wave_counts.len() {
+            self.wave_counts.resize(w + 1, 0);
+        }
+        self.wave_counts[w] += 1;
+        self.wave.push(w);
         self.nodes.push(node);
         self.preds.push(preds);
         j
@@ -138,28 +152,30 @@ impl TaskGraph {
     }
 
     /// ASAP wave index of every node: `wave[j] = 1 + max(wave[preds])`.
-    pub fn waves(&self) -> Vec<usize> {
-        let mut w = vec![0usize; self.nodes.len()];
-        for j in 0..self.nodes.len() {
-            w[j] = self.preds[j].iter().map(|&i| w[i] + 1).max().unwrap_or(0);
-        }
-        w
+    /// Cached — maintained incrementally by [`TaskGraph::push`].
+    pub fn waves(&self) -> &[usize] {
+        &self.wave
+    }
+
+    /// Number of waves in the ASAP schedule.
+    pub fn wave_count(&self) -> usize {
+        self.wave_counts.len()
+    }
+
+    /// Node count of each wave (`wave_sizes()[w]` kernels run in wave `w`).
+    pub fn wave_sizes(&self) -> &[usize] {
+        &self.wave_counts
     }
 
     /// Minimal number of device-wide synchronization points: one between
     /// consecutive waves of the ASAP schedule.
     pub fn sync_count(&self) -> usize {
-        self.waves().iter().copied().max().map_or(0, |m| m)
+        self.wave_counts.len().saturating_sub(1)
     }
 
     /// Maximum number of kernels that can run concurrently (largest wave).
     pub fn max_concurrency(&self) -> usize {
-        let waves = self.waves();
-        let mut counts = BTreeMap::new();
-        for w in waves {
-            *counts.entry(w).or_insert(0usize) += 1;
-        }
-        counts.values().copied().max().unwrap_or(0)
+        self.wave_counts.iter().copied().max().unwrap_or(0)
     }
 
     /// Transitive reduction of the predecessor sets (for readable DOT):
@@ -323,6 +339,24 @@ mod tests {
         assert_eq!(g.waves(), vec![0, 1, 2]);
         assert_eq!(g.sync_count(), 2);
         assert_eq!(g.max_concurrency(), 1);
+        assert_eq!(g.wave_count(), 3);
+        assert_eq!(g.wave_sizes(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn cached_waves_match_recomputation() {
+        // The incremental wave cache must equal a from-scratch longest-path
+        // computation on an irregular graph.
+        let mut g = TaskGraph::new();
+        g.push(node("a", &[], &[FieldId(0)], &[]));
+        g.push(node("b", &[], &[FieldId(1)], &[]));
+        g.push(node("c", &[FieldId(0), FieldId(1)], &[FieldId(2)], &[]));
+        g.push(node("d", &[], &[FieldId(3)], &[]));
+        g.push(node("e", &[FieldId(2), FieldId(3)], &[FieldId(4)], &[]));
+        assert_eq!(g.waves(), vec![0, 0, 1, 0, 2]);
+        assert_eq!(g.wave_sizes(), &[3, 1, 1]);
+        assert_eq!(g.max_concurrency(), 3);
+        assert_eq!(g.sync_count(), 2);
     }
 
     #[test]

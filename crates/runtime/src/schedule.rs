@@ -17,15 +17,29 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Builds the ASAP wave schedule of `graph`.
+    /// Builds the ASAP wave schedule of `graph`, reusing the wave partition
+    /// the graph maintains incrementally (no recomputation).
     pub fn from_graph(graph: &TaskGraph) -> Self {
-        let wave_of = graph.waves();
-        let n_waves = wave_of.iter().copied().max().map_or(0, |m| m + 1);
-        let mut waves = vec![Vec::new(); n_waves];
-        for (node, &w) in wave_of.iter().enumerate() {
+        let mut waves: Vec<Vec<usize>> = graph
+            .wave_sizes()
+            .iter()
+            .map(|&n| Vec::with_capacity(n))
+            .collect();
+        // Node indices ascend within each wave: program order, which the
+        // sequential executor relies on for deterministic replay.
+        for (node, &w) in graph.waves().iter().enumerate() {
             waves[w].push(node);
         }
         Self { waves }
+    }
+
+    /// Stream id of `node`: its position within its wave. Virtual streams
+    /// are numbered per wave; concurrent kernels of one wave occupy
+    /// distinct streams.
+    pub fn stream_of(&self, node: usize) -> Option<usize> {
+        self.waves
+            .iter()
+            .find_map(|w| w.iter().position(|&n| n == node))
     }
 
     /// Number of synchronization points (between consecutive waves).

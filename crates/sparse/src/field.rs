@@ -201,6 +201,34 @@ impl<T: Copy> DoubleBuffer<T> {
         self.flipped = !self.flipped;
     }
 
+    /// Current parity: the *half index* (see [`DoubleBuffer::half_ptrs`])
+    /// of the source buffer. 0 before the first [`DoubleBuffer::swap`],
+    /// alternating thereafter.
+    #[inline(always)]
+    pub fn parity(&self) -> usize {
+        self.flipped as usize
+    }
+
+    /// Read-only access to half `h` (0 or 1) irrespective of parity —
+    /// half `parity()` is the current source.
+    #[inline(always)]
+    pub fn half(&self, h: usize) -> &Field<T> {
+        if h == 0 {
+            &self.a
+        } else {
+            &self.b
+        }
+    }
+
+    /// Raw pointers to both halves, `[half 0, half 1]`, for executors that
+    /// record kernels touching specific halves before running them. The
+    /// caller promises the usual aliasing rules: no half is read while
+    /// another kernel writes it (the dependency graph enforces exactly
+    /// this).
+    pub fn half_ptrs(&mut self) -> [*mut Field<T>; 2] {
+        [&mut self.a as *mut _, &mut self.b as *mut _]
+    }
+
     /// Heap bytes of both buffers.
     pub fn heap_bytes(&self) -> usize {
         self.a.heap_bytes() + self.b.heap_bytes()

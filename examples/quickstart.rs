@@ -36,12 +36,10 @@ fn main() {
         mem.baseline_ghost_bytes as f64 / 1024.0,
     );
 
-    let mut engine = Engine::new(
-        grid,
-        Bgk::new(omega0),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut engine = Engine::builder(grid)
+        .collision(Bgk::new(omega0))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
 
     // A gentle vortex-like initial condition crossing the interface.
     engine.grid.init_equilibrium(

@@ -32,12 +32,10 @@
 //! });
 //! let omega0 = 1.5;
 //! let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, omega0);
-//! let mut engine = Engine::new(
-//!     grid,
-//!     Bgk::new(omega0),
-//!     Variant::FusedAll, // the paper's most optimized configuration
-//!     Executor::new(DeviceModel::a100_40gb()),
-//! );
+//! let mut engine = Engine::builder(grid)
+//!     .collision(Bgk::new(omega0))
+//!     .variant(Variant::FusedAll) // the paper's most optimized configuration
+//!     .build(Executor::new(DeviceModel::a100_40gb()));
 //! engine.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
 //! engine.run(10);
 //! assert!(engine.grid.total_mass() > 0.0);

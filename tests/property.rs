@@ -40,12 +40,10 @@ fn build_engine(r: &RandomSpec, variant: Variant) -> Engine<f64, D3Q19, Bgk<f64>
             && (lo[2]..hi[2]).contains(&p.z)
     });
     let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, r.omega0);
-    let mut eng = Engine::new(
-        grid,
-        Bgk::new(r.omega0),
-        variant,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(r.omega0))
+        .variant(variant)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     let u = r.u;
     eng.grid.init_equilibrium(|_, _| 1.0, move |_, _| u);
     eng

@@ -2,12 +2,12 @@
 //! models and both precisions: all fusion configurations must compute the
 //! same physics (they only re-cut the kernels).
 
-use lbm_refinement::core::{Engine, MultiGrid, Variant};
+use lbm_refinement::core::{AllWalls, Engine, ExecMode, GridSpec, MultiGrid, Variant};
 use lbm_refinement::gpu::{DeviceModel, Executor};
-use lbm_refinement::lattice::{Bgk, D3Q19};
+use lbm_refinement::lattice::{Bgk, VelocitySet, D3Q19, D3Q27};
 use lbm_refinement::problems::sphere::{SphereConfig, SphereFlow};
 use lbm_refinement::problems::tunnel_boundary;
-use lbm_refinement::sparse::Coord;
+use lbm_refinement::sparse::{Box3, Coord};
 
 fn low_re_flow() -> SphereFlow {
     let mut c = SphereConfig::for_size([36, 24, 36]);
@@ -84,22 +84,18 @@ fn f32_engine_tracks_f64() {
     let bc = tunnel_boundary(flow.config.size, flow.config.levels, flow.config.u_inlet);
 
     let grid64 = MultiGrid::<f64, D3Q19>::build(flow.spec(), &bc, flow.omega0);
-    let mut e64 = Engine::new(
-        grid64,
-        Bgk::new(flow.omega0),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut e64 = Engine::builder(grid64)
+        .collision(Bgk::new(flow.omega0))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     let u = flow.config.u_inlet;
     e64.grid.init_equilibrium(|_, _| 1.0, |_, _| [u, 0.0, 0.0]);
 
     let grid32 = MultiGrid::<f32, D3Q19>::build(flow.spec(), &bc, flow.omega0);
-    let mut e32 = Engine::new(
-        grid32,
-        Bgk::new(flow.omega0 as f32),
-        Variant::FusedAll,
-        Executor::new(DeviceModel::a100_40gb()),
-    );
+    let mut e32 = Engine::builder(grid32)
+        .collision(Bgk::new(flow.omega0 as f32))
+        .variant(Variant::FusedAll)
+        .build(Executor::new(DeviceModel::a100_40gb()));
     e32.grid.init_equilibrium(|_, _| 1.0, |_, _| [u, 0.0, 0.0]);
 
     e64.run(5);
@@ -124,6 +120,150 @@ fn f32_engine_tracks_f64() {
     }
     assert!(compared > 20);
     assert!(max < 5e-5, "f32 deviates from f64 by {max:e}");
+}
+
+// ---------------------------------------------------------------------------
+// Eager vs graph execution: the wave-scheduled dispatch must be *bit*
+// identical to the program-order dispatch — same kernels, same field bits,
+// same declared traffic — on randomized sparse geometries, every fusion
+// variant, both velocity sets.
+
+/// Deterministic xorshift64*: the tests must not depend on ambient RNG.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A random but valid 2-level nested-box refinement in a 24³ finest
+/// domain (coarse level is 12³; the box keeps ≥ 2 cells of margin).
+fn random_box(seed: u64) -> ([i32; 3], [i32; 3]) {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut pick = |lo: i32, hi: i32| lo + (xorshift(&mut s) % (hi - lo) as u64) as i32;
+    let lo = [pick(2, 5), pick(2, 5), pick(2, 5)];
+    let hi = [
+        (lo[0] + pick(2, 5)).min(10),
+        (lo[1] + pick(2, 5)).min(10),
+        (lo[2] + pick(2, 5)).min(10),
+    ];
+    (lo, hi)
+}
+
+/// Builds a sequential-executor engine over the seeded geometry with a
+/// deterministic, spatially varying initial velocity.
+fn mode_engine<V: VelocitySet>(
+    seed: u64,
+    variant: Variant,
+    mode: ExecMode,
+) -> Engine<f64, V, Bgk<f64>> {
+    let (lo, hi) = random_box(seed);
+    let spec = GridSpec::new(2, Box3::from_dims(24, 24, 24), move |l, p| {
+        l == 0
+            && (lo[0]..hi[0]).contains(&p.x)
+            && (lo[1]..hi[1]).contains(&p.y)
+            && (lo[2]..hi[2]).contains(&p.z)
+    });
+    let grid = MultiGrid::<f64, V>::build(spec, &AllWalls, 1.6);
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(1.6))
+        .variant(variant)
+        .exec_mode(mode)
+        .build(Executor::sequential(DeviceModel::a100_40gb()));
+    eng.grid.init_equilibrium(
+        |_, _| 1.0,
+        move |l, p| {
+            let k = (seed as i32 + l as i32 + 3 * p.x + 5 * p.y + 7 * p.z) as f64;
+            [0.02 * (k * 0.37).sin(), 0.015 * (k * 0.61).cos(), 0.01 * (k * 0.23).sin()]
+        },
+    );
+    eng
+}
+
+/// Asserts bit-for-bit equality of every population slot in both halves of
+/// every level's double buffer.
+fn assert_bits_identical<V: VelocitySet>(
+    a: &Engine<f64, V, Bgk<f64>>,
+    b: &Engine<f64, V, Bgk<f64>>,
+    what: &str,
+) {
+    for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
+        for h in 0..2 {
+            let fa = la.f.half(h).as_slice();
+            let fb = lb.f.half(h).as_slice();
+            assert_eq!(fa.len(), fb.len(), "{what}: level {l} half {h} size");
+            for (i, (x, y)) in fa.iter().zip(fb).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "{what}: level {l} half {h} slot {i}: {x:e} vs {y:e}"
+                );
+            }
+        }
+    }
+}
+
+/// Runs one seeded geometry through both exec modes and checks fields and
+/// declared traffic.
+fn check_modes_agree<V: VelocitySet>(seed: u64, variant: Variant, steps: usize) {
+    let mut eager = mode_engine::<V>(seed, variant, ExecMode::Eager);
+    let mut graph = mode_engine::<V>(seed, variant, ExecMode::Graph);
+    eager.run(steps);
+    graph.run(steps);
+    let what = format!("seed {seed} {} {}", variant.name(), V::NAME);
+    assert_bits_identical(&eager, &graph, &what);
+    // Same kernels launched with the same declared costs: the profiler
+    // totals (traffic, launches, cells) must match exactly; only the sync
+    // structure differs between the modes.
+    let te = eager.exec.profiler().total();
+    let tg = graph.exec.profiler().total();
+    assert_eq!(te.launches, tg.launches, "{what}: launches");
+    assert_eq!(te.cells, tg.cells, "{what}: cells");
+    assert_eq!(te.bytes_read, tg.bytes_read, "{what}: bytes read");
+    assert_eq!(te.bytes_written, tg.bytes_written, "{what}: bytes written");
+    assert_eq!(te.atomic_bytes, tg.atomic_bytes, "{what}: atomic bytes");
+}
+
+#[test]
+fn graph_mode_bit_identical_to_eager_d3q19() {
+    for seed in [1, 2, 3] {
+        for variant in Variant::ALL {
+            check_modes_agree::<D3Q19>(seed, variant, 3);
+        }
+    }
+}
+
+#[test]
+fn graph_mode_bit_identical_to_eager_d3q27() {
+    for seed in [4, 5] {
+        for variant in Variant::ALL {
+            check_modes_agree::<D3Q27>(seed, variant, 2);
+        }
+    }
+}
+
+#[test]
+fn graph_mode_sync_count_matches_schedule() {
+    for variant in [Variant::ModifiedBaseline, Variant::FusedAll] {
+        let mut eng = mode_engine::<D3Q19>(7, variant, ExecMode::Graph);
+        let (graph, schedule) = eng.step_task_graph();
+        let p0 = (eng.exec.profiler().syncs(), eng.exec.profiler().waves());
+        eng.step();
+        let p1 = (eng.exec.profiler().syncs(), eng.exec.profiler().waves());
+        assert_eq!(
+            p1.0 - p0.0,
+            schedule.sync_count() as u64,
+            "{}: measured syncs per step must equal the schedule's",
+            variant.name()
+        );
+        assert_eq!(
+            p1.1 - p0.1,
+            graph.wave_count() as u64,
+            "{}: one executor wave per schedule wave",
+            variant.name()
+        );
+    }
 }
 
 #[test]
