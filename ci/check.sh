@@ -11,6 +11,10 @@
 #    trace, and asserts the measured graph-mode sync count equals the
 #    schedule's (`sync_match`) — that one IS gated, it is a correctness
 #    property of the wave scheduler, not a performance number.
+# 5. `report -- layout-sweep` smoke: regenerates BENCH_layout.json and
+#    asserts every layout group computed bit-identical physics
+#    (`digests_match`) — also gated: the memory layout may only move
+#    values around, never change them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +35,16 @@ for c in d["cases"]:
 t = json.load(open("BENCH_graph_trace.json"))
 assert t["traceEvents"], "chrome trace has no spans"
 print("graph ok:", len(d["cases"]), "cases sync-matched,", len(t["traceEvents"]), "trace spans")
+EOF
+    cargo run --release -q -p lbm-bench --bin report -- layout-sweep
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_layout.json"))
+assert d["all_digests_match"], "layout sweep: physics digests differ across layouts"
+for g in d["groups"]:
+    assert g["digests_match"], f"layout digests differ in group: {g['velocity_set']} B={g['block_size']}"
+    assert len(g["layouts"]) == 3, f"expected 3 layouts per group, got {len(g['layouts'])}"
+print("layout-sweep ok:", len(d["groups"]), "groups bit-identical across layouts")
 EOF
 fi
 

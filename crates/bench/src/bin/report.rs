@@ -11,15 +11,18 @@
 //! `bench-json` writes the interior-fast-path comparison to
 //! `BENCH_streaming.json`; `graph` compares eager vs wave-scheduled
 //! execution and writes `BENCH_graph.json` plus a chrome://tracing file
-//! `BENCH_graph_trace.json`.
+//! `BENCH_graph_trace.json`; `layout-sweep` compares the population
+//! memory layouts across block sizes and velocity sets and writes
+//! `BENCH_layout.json`.
 
 use std::time::Instant;
 
-use lbm_bench::{cavity_case, graph_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult};
+use lbm_bench::{cavity_case, graph_case, layout_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult};
 use lbm_compare::PalabosLike;
 use lbm_core::{alg1_graph, memory_report, step_graph, ExecMode, InteriorPath, MultiGrid, Variant};
 use lbm_gpu::{max_uniform_cube, DeviceModel, Executor};
-use lbm_lattice::D3Q19;
+use lbm_lattice::{D3Q19, D3Q27};
+use lbm_sparse::Layout;
 use lbm_problems::airplane::{AirplaneConfig, AirplaneFlow};
 use lbm_problems::cavity::{Cavity, CavityConfig};
 use lbm_problems::diagnostics;
@@ -41,6 +44,7 @@ fn main() {
         "fig1" => fig1(paper_scale),
         "bench-json" => bench_json(),
         "graph" => graph_report(),
+        "layout-sweep" => layout_sweep(),
         "all" => {
             fig2();
             ghost();
@@ -53,7 +57,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph all");
+            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph layout-sweep all");
             std::process::exit(2);
         }
     }
@@ -557,6 +561,102 @@ fn graph_report() {
     std::fs::write("BENCH_graph.json", &json).unwrap();
     std::fs::write("BENCH_graph_trace.json", trace.unwrap()).unwrap();
     println!("\nwrote BENCH_graph.json and BENCH_graph_trace.json");
+}
+
+/// One `(velocity set, block size)` group of the layout sweep: runs every
+/// layout on the identical workload, prints the comparison rows, and
+/// returns the JSON fragment plus whether the physics digests agreed.
+fn layout_group<V: lbm_lattice::VelocitySet>(
+    n: usize,
+    b: usize,
+    layouts: &[Layout],
+    warmup: usize,
+    steps: usize,
+) -> (String, bool) {
+    let runs: Vec<(Layout, CaseResult, String)> = layouts
+        .iter()
+        .map(|&l| {
+            let (case, digest) = layout_case::<V>(n, b, l, warmup, steps);
+            (l, case, digest)
+        })
+        .collect();
+    let digests_match = runs.windows(2).all(|w| w[0].2 == w[1].2);
+    println!("\n{} B={b} (lid-driven box n={n}, 2 levels, {steps} steps):", V::NAME);
+    println!(
+        "{:<14} {:>12} {:>14} {:>18}",
+        "layout", "MLUPS", "modeled MLUPS", "digest"
+    );
+    for (l, r, d) in &runs {
+        println!(
+            "{:<14} {:>12.2} {:>14.1} {:>18}",
+            l.label(),
+            r.measured_mlups,
+            r.modeled_mlups,
+            d
+        );
+    }
+    println!(
+        "digest gate: {}",
+        if digests_match { "OK (bit-identical)" } else { "MISMATCH" }
+    );
+    let layout_objs: Vec<String> = runs
+        .iter()
+        .map(|(l, r, d)| {
+            format!(
+                "        {{ \"layout\": \"{}\", \"measured_mlups\": {:.3}, \
+                 \"modeled_mlups\": {:.3}, \"wall_s\": {:.6}, \"digest\": \"{d}\" }}",
+                l.name(),
+                r.measured_mlups,
+                r.modeled_mlups,
+                r.wall.as_secs_f64()
+            )
+        })
+        .collect();
+    let json = format!(
+        "    {{\n      \"velocity_set\": \"{}\", \"block_size\": {b}, \
+         \"digests_match\": {digests_match},\n      \"layouts\": [\n{}\n      ]\n    }}",
+        V::NAME,
+        layout_objs.join(",\n")
+    );
+    (json, digests_match)
+}
+
+/// Memory-layout sweep → `BENCH_layout.json`.
+///
+/// Runs the three population layouts (block-SoA, cell-AoS, tiled AoSoA)
+/// on the same two-level lid-driven workload for every combination of
+/// block size B ∈ {4, 8} and velocity set ∈ {D3Q19, D3Q27}, and gates on
+/// the physics digests: the layout only moves values around in memory, so
+/// every group must be bit-identical across its three runs. The modeled
+/// MLUPS column carries the coalescing penalty of the non-SoA layouts
+/// (DESIGN.md §9); the digest gate is what the CI smoke asserts.
+fn layout_sweep() {
+    banner("Memory layout sweep — SoA / AoS / tiled (BENCH_layout.json)");
+    let (n, warmup, steps) = (32usize, 1usize, 4usize);
+    let layouts = [
+        Layout::BlockSoA,
+        Layout::CellAoS,
+        Layout::Tiled { width: 32 },
+    ];
+    let mut group_objs = Vec::new();
+    let mut all_match = true;
+    for b in [4usize, 8] {
+        for (json, ok) in [
+            layout_group::<D3Q19>(n, b, &layouts, warmup, steps),
+            layout_group::<D3Q27>(n, b, &layouts, warmup, steps),
+        ] {
+            group_objs.push(json);
+            all_match &= ok;
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"layout_sweep\",\n  \"device_model\": \"a100_40gb\",\n  \
+         \"n\": {n}, \"levels\": 2, \"steps\": {steps},\n  \
+         \"all_digests_match\": {all_match},\n  \"groups\": [\n{}\n  ]\n}}\n",
+        group_objs.join(",\n")
+    );
+    std::fs::write("BENCH_layout.json", &json).unwrap();
+    println!("\nwrote BENCH_layout.json (all digests match: {all_match})");
 }
 
 /// Fig. 1 / §VI-B: airplane-tunnel capacity claim.

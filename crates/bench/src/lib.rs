@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use lbm_core::{ExecMode, InteriorPath, Variant};
 use lbm_gpu::{DeviceModel, Executor, KernelSpan, KernelStats};
+use lbm_sparse::Layout;
 use lbm_problems::cavity::{Cavity, CavityConfig};
 use lbm_problems::sphere::{SphereConfig, SphereFlow};
 
@@ -213,7 +214,7 @@ pub fn stream_kernel_compare(n: usize, rounds: usize, iters: usize) -> Vec<(Inte
                 coarse_src: None,
                 coarse_prev: None,
                 explosion_blend: 0.0,
-                offsets: &level.offsets,
+                runs: &level.runs,
                 interior_path: path,
             };
             let t0 = std::time::Instant::now();
@@ -227,6 +228,80 @@ pub fn stream_kernel_compare(n: usize, rounds: usize, iters: usize) -> Vec<(Inte
         }
     }
     paths.iter().copied().zip(best).collect()
+}
+
+/// FNV-1a digest of every population of every level, folded in canonical
+/// `(level, block, component, cell)` order through the accessor API. The
+/// traversal order is layout-blind, so two runs that computed the same
+/// physics produce the same digest no matter how the values are placed in
+/// memory — this is the bit-identity gate of the layout sweep.
+pub fn grid_digest<T, V>(grid: &lbm_core::MultiGrid<T, V>) -> String
+where
+    T: lbm_lattice::Real,
+    V: lbm_lattice::VelocitySet,
+{
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for level in &grid.levels {
+        let f = level.f.src();
+        for (r, _) in level.grid.iter_active() {
+            for i in 0..V::Q {
+                for b in f.get(r.block, i, r.cell).to_f64().to_bits().to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Runs a two-level lid-driven box under one population [`Layout`] and
+/// returns the timing record plus the [`grid_digest`] of the final state.
+///
+/// The workload is a shrunken cavity (near-wall refinement band, moving
+/// lid, BGK) but generic over the velocity set so the sweep can pit
+/// D3Q19 against D3Q27: the layout trade-off depends directly on `q`
+/// (CellAoS strides by `q`; tiles pack `q·w` values). The digest must be
+/// identical across layouts for fixed `(n, B, V)` — the report and the CI
+/// smoke both gate on that.
+pub fn layout_case<V: lbm_lattice::VelocitySet>(
+    n: usize,
+    block_size: usize,
+    layout: Layout,
+    warmup: usize,
+    steps: usize,
+) -> (CaseResult, String) {
+    use lbm_core::{presets, Boundary, Engine, GridSpec, MultiGrid};
+    use lbm_lattice::Bgk;
+    use lbm_sparse::Box3;
+    let domain = Box3::from_dims(n, n, n);
+    let refine = presets::near_walls(domain, 2, 4, [true, true, true]);
+    let spec = GridSpec::new(2, domain, refine).with_block_size(block_size);
+    let top_fine = n as i32;
+    let bc = move |level: u32, src: lbm_sparse::Coord, _dir: usize| {
+        if src.y >= top_fine >> (1 - level) {
+            Boundary::MovingWall {
+                velocity: [0.05, 0.0, 0.0],
+            }
+        } else {
+            Boundary::BounceBack
+        }
+    };
+    let omega = 1.7;
+    let grid = MultiGrid::<f64, V>::build(spec, &bc, omega);
+    let mut eng = Engine::builder(grid)
+        .collision(Bgk::new(omega))
+        .variant(Variant::FusedAll)
+        .layout(layout)
+        .build(Executor::new(DeviceModel::a100_40gb()));
+    eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
+    let case = time_engine(
+        format!("lid n={n} B={block_size} {} {}", V::NAME, layout.label()),
+        &mut eng,
+        warmup,
+        steps,
+    );
+    (case, grid_digest(&eng.grid))
 }
 
 /// Observability record of one traced run: what the scheduler planned and

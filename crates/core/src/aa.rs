@@ -25,7 +25,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use lbm_lattice::{Collision, Real, VelocitySet, MAX_Q};
-use lbm_sparse::{Box3, Coord, Field, GridBuilder, SparseGrid, SpaceFillingCurve};
+use lbm_sparse::{Box3, Coord, Field, GridBuilder, Layout, SparseGrid, SpaceFillingCurve};
 
 /// Single-buffer AA-pattern solver on a fully periodic uniform box.
 pub struct AaSolver<T, V, C> {
@@ -44,12 +44,20 @@ where
     V: VelocitySet,
     C: Collision<T, V>,
 {
-    /// Builds the solver over an `nx × ny × nz` periodic box.
+    /// Builds the solver over an `nx × ny × nz` periodic box with the
+    /// default population layout.
     pub fn new(dims: [usize; 3], block_size: usize, op: C) -> Self {
+        Self::with_layout(dims, block_size, op, Layout::default())
+    }
+
+    /// Builds the solver with an explicit population [`Layout`]. The AA
+    /// pattern is accessor-based, so any layout works; odd steps write the
+    /// same slots they read regardless of placement.
+    pub fn with_layout(dims: [usize; 3], block_size: usize, op: C, layout: Layout) -> Self {
         let mut gb = GridBuilder::new(block_size);
         gb.activate_box(Box3::from_dims(dims[0], dims[1], dims[2]));
         let grid = gb.build(SpaceFillingCurve::Morton);
-        let f = Field::new(&grid, V::Q, T::ZERO);
+        let f = Field::with_layout(&grid, V::Q, T::ZERO, layout);
         Self {
             grid,
             f,
@@ -58,6 +66,11 @@ where
             steps: 0,
             _lattice: std::marker::PhantomData,
         }
+    }
+
+    /// The population buffer's memory layout.
+    pub fn layout(&self) -> Layout {
+        self.f.layout()
     }
 
     /// Sets every cell to equilibrium (must be called at an even step).

@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use lbm_gpu::{with_span_context, AtomicF64Field, Executor};
 use lbm_lattice::{Collision, Real, VelocitySet};
 use lbm_runtime::{Schedule, TaskGraph};
-use lbm_sparse::{Field, SparseGrid, StreamOffsets};
+use lbm_sparse::{Field, HalfReadGuard, Layout, LayoutRuns, SparseGrid, SplitHalves};
 
 use crate::flags::BlockFlags;
 use crate::graphs;
@@ -115,6 +115,7 @@ pub struct EngineBuilder<T: Real, V: VelocitySet> {
     interior_path: InteriorPath,
     time_interp: bool,
     exec_mode: ExecMode,
+    layout: Layout,
 }
 
 /// [`EngineBuilder`] with the collision operator chosen; finish with
@@ -128,14 +129,17 @@ pub struct EngineBuilderWithOp<T: Real, V: VelocitySet, C> {
 impl<T: Real, V: VelocitySet> Engine<T, V, ()> {
     /// Starts building an engine over `grid`. Defaults: the paper's most
     /// optimized variant ([`Variant::FusedAll`]), the default interior fast
-    /// path, no temporal interpolation, eager execution.
+    /// path, no temporal interpolation, eager execution, the grid's current
+    /// memory layout (BlockSoA unless converted).
     pub fn builder(grid: MultiGrid<T, V>) -> EngineBuilder<T, V> {
+        let layout = grid.layout();
         EngineBuilder {
             grid,
             variant: Variant::FusedAll,
             interior_path: InteriorPath::default(),
             time_interp: false,
             exec_mode: ExecMode::Eager,
+            layout,
         }
     }
 }
@@ -167,6 +171,15 @@ impl<T: Real, V: VelocitySet> EngineBuilder<T, V> {
     /// Sets the execution mode (eager or wave-scheduled graph execution).
     pub fn exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// Selects the intra-block memory layout of the population buffers
+    /// (paper layout [`Layout::BlockSoA`] by default). The grid is
+    /// converted at build time; all layouts are bit-identical in physics
+    /// and differ only in memory traffic shape.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -204,9 +217,18 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> EngineBuilderWithOp<T, V, C> {
         self
     }
 
+    /// Selects the population memory layout (see [`EngineBuilder::layout`]).
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.base.layout = layout;
+        self
+    }
+
     /// Assembles the engine on the given executor.
     pub fn build(self, exec: Executor) -> Engine<T, V, C> {
-        let b = self.base;
+        let mut b = self.base;
+        if b.layout != b.grid.layout() {
+            b.grid.set_layout(b.layout);
+        }
         Engine::assemble(
             b.grid,
             self.op,
@@ -263,37 +285,14 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         }
     }
 
-    /// Creates the engine from positional arguments.
-    #[deprecated(
-        note = "use the builder: Engine::builder(grid).collision(op).variant(v).build(exec)"
-    )]
-    pub fn new(grid: MultiGrid<T, V>, base_op: C, variant: Variant, exec: Executor) -> Self {
-        Self::assemble(
-            grid,
-            base_op,
-            variant,
-            exec,
-            InteriorPath::default(),
-            false,
-            ExecMode::Eager,
-        )
-    }
-
-    /// Selects the interior fast path.
-    #[deprecated(note = "configure via Engine::builder(..).interior_path(p)")]
-    pub fn set_interior_path(&mut self, path: InteriorPath) {
-        self.interior_path = path;
-    }
-
     /// The currently selected interior fast path.
     pub fn interior_path(&self) -> InteriorPath {
         self.interior_path
     }
 
-    /// Enables/disables the linear-time-interpolation extension.
-    #[deprecated(note = "configure via Engine::builder(..).time_interpolation(on)")]
-    pub fn set_time_interpolation(&mut self, on: bool) {
-        self.time_interp = on;
+    /// The memory layout of the population buffers.
+    pub fn layout(&self) -> Layout {
+        self.grid.layout()
     }
 
     /// Whether temporal interpolation is enabled.
@@ -387,41 +386,34 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         }
         let ops = self.step_program();
 
-        // Field-granular captures: raw pointers to the double-buffer halves
-        // (taken first, under the mutable borrow), then shared references
-        // to everything else. Kernels dereference exactly the halves their
-        // declared accesses name, and the schedule guarantees no
-        // read/write overlap within a wave.
-        let half_ptrs: Vec<[HalfPtr<T>; 2]> = self
-            .grid
-            .levels
-            .iter_mut()
-            .map(|lv| {
-                let p = lv.f.half_ptrs();
-                [HalfPtr(p[0]), HalfPtr(p[1])]
-            })
-            .collect();
+        // Field-granular captures: each level's double buffer is split into
+        // its two halves behind a runtime-checked [`SplitHalves`] handle
+        // (taken under the mutable borrow), alongside shared references to
+        // everything else. Kernels acquire read/write guards for exactly
+        // the halves their declared accesses name; a schedule that admitted
+        // a conflicting pair within a wave panics instead of aliasing.
+        let expl = &self.explosion_cells;
+        let coal = &self.coalesce_cells;
         let ctx: Vec<LevelCtx<'_, T>> = self
             .grid
             .levels
-            .iter()
-            .zip(&half_ptrs)
+            .iter_mut()
             .enumerate()
-            .map(|(l, (lv, &halves))| LevelCtx {
+            .map(|(l, lv)| LevelCtx {
                 grid: &lv.grid,
                 flags: &lv.flags,
                 block_flags: &lv.block_flags,
                 links: &lv.links,
                 acc: &lv.acc,
-                offsets: &lv.offsets,
+                runs: &lv.runs,
                 gather: &lv.gather,
                 acc_target: &lv.acc_target,
                 acc_dirs: &lv.acc_dirs,
-                halves,
+                halves: lv.f.split_mut(),
                 real: lv.real_cells as u64,
                 ghost: lv.ghost_cells as u64,
-                expl: self.explosion_cells[l],
-                coal: self.coalesce_cells[l],
+                expl: expl[l],
+                coal: coal[l],
             })
             .collect();
 
@@ -508,30 +500,22 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
     }
 }
 
-/// `Send`/`Sync` wrapper for a double-buffer half pointer. Safety rests on
-/// the schedule: a half is never written while any other kernel of the same
-/// wave touches it (the dependency edges are derived from exactly these
-/// accesses).
-#[derive(Copy, Clone)]
-struct HalfPtr<T>(*mut Field<T>);
-
-unsafe impl<T: Send> Send for HalfPtr<T> {}
-unsafe impl<T: Sync> Sync for HalfPtr<T> {}
-
-/// Shared per-level views captured once per step; double-buffer halves are
-/// raw so each kernel can take exactly the reference its declared accesses
-/// allow.
+/// Shared per-level views captured once per step; the double-buffer halves
+/// sit behind a [`SplitHalves`] handle so each kernel takes exactly the
+/// guard its declared accesses allow — a scheduling bug that pairs
+/// conflicting accesses within a wave panics deterministically instead of
+/// racing.
 struct LevelCtx<'a, T> {
     grid: &'a SparseGrid,
     flags: &'a Field<u8>,
     block_flags: &'a [BlockFlags],
     links: &'a [BlockLinks<T>],
     acc: &'a AtomicF64Field,
-    offsets: &'a StreamOffsets,
+    runs: &'a LayoutRuns,
     gather: &'a [Vec<GatherEntry>],
     acc_target: &'a [Option<Box<[u64]>>],
     acc_dirs: &'a [Option<Box<[u32]>>],
-    halves: [HalfPtr<T>; 2],
+    halves: SplitHalves<'a, T>,
     real: u64,
     ghost: u64,
     expl: u64,
@@ -552,10 +536,10 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
     let sh = op.src_half as usize;
     let ch = op.coarse_half as usize;
     let coarse = if l > 0 { Some(&ctx[l - 1]) } else { None };
-    // SAFETY (all derefs below): the halves named by the op's declared
-    // accesses are not concurrently written — within a wave the schedule
-    // admits no conflicting pair, and `src != dst` by construction.
-    let src: &Field<T> = unsafe { &*lv.halves[sh].0 };
+    // Guards are acquired only for the halves named by the op's declared
+    // accesses — within a wave the schedule admits no conflicting pair,
+    // and `src != dst` by construction; any violation panics in the guard.
+    let src = lv.halves.read(sh);
     // Temporal extrapolation weight: the second substep of the parent
     // interval sits at t + Δt_c/2, half a coarse step past the coarse
     // state — `0.5` extrapolates linearly from the previous state.
@@ -571,23 +555,23 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
             None
         }
     });
-    // Dereference the coarse halves only when this op's declared accesses
-    // include them: an undeclared reference could alias a concurrent
-    // writer in the same wave (the schedule only separates *declared*
-    // conflicts).
+    // Acquire coarse-half guards only when this op's declared accesses
+    // include them: an undeclared acquisition could collide with a
+    // legitimate concurrent writer in the same wave (the schedule only
+    // separates *declared* conflicts).
     let resolves_explosion = match op.kind {
         OpKind::Stream { explosion, .. } => explosion && lv.expl > 0,
         OpKind::Explosion => true,
         OpKind::Fused { .. } => lv.expl > 0,
         _ => false,
     };
-    let coarse_src: Option<&Field<T>> = if resolves_explosion {
-        coarse.map(|c| unsafe { &*c.halves[ch].0 })
+    let coarse_src: Option<HalfReadGuard<'_, T>> = if resolves_explosion {
+        coarse.map(|c| c.halves.read(ch))
     } else {
         None
     };
-    let coarse_prev: Option<&Field<T>> = if resolves_explosion && time_interp {
-        coarse.map(|c| unsafe { &*c.halves[1 - ch].0 })
+    let coarse_prev: Option<HalfReadGuard<'_, T>> = if resolves_explosion && time_interp {
+        coarse.map(|c| c.halves.read(1 - ch))
     } else {
         None
     };
@@ -596,12 +580,12 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
         flags: lv.flags,
         block_flags: lv.block_flags,
         links: lv.links,
-        src,
+        src: &src,
         acc: lv.acc,
-        coarse_src,
-        coarse_prev,
+        coarse_src: coarse_src.as_deref(),
+        coarse_prev: coarse_prev.as_deref(),
         explosion_blend: blend,
-        offsets: lv.offsets,
+        runs: lv.runs,
         interior_path,
     };
 
@@ -614,7 +598,7 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
                 c.grid,
                 c.gather,
                 c.acc,
-                src,
+                &src,
                 c.ghost,
             );
         }
@@ -623,7 +607,7 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
             coalesce,
             accumulate,
         } => {
-            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            let mut dst = lv.halves.write(1 - sh);
             let name = if explosion || coalesce {
                 names::SEO[l]
             } else {
@@ -633,7 +617,7 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
                 exec,
                 name,
                 inputs,
-                dst,
+                &mut dst,
                 StreamOptions {
                     explosion,
                     coalesce,
@@ -643,15 +627,15 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
             );
         }
         OpKind::Explosion => {
-            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
-            kernels::explosion::<T, V>(exec, names::E[l], inputs, dst, lv.expl);
+            let mut dst = lv.halves.write(1 - sh);
+            kernels::explosion::<T, V>(exec, names::E[l], inputs, &mut dst, lv.expl);
         }
         OpKind::Coalesce => {
-            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
-            kernels::coalesce::<T, V>(exec, names::O[l], inputs, dst, lv.coal);
+            let mut dst = lv.halves.write(1 - sh);
+            kernels::coalesce::<T, V>(exec, names::O[l], inputs, &mut dst, lv.coal);
         }
         OpKind::Collide => {
-            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            let mut dst = lv.halves.write(1 - sh);
             kernels::collide(
                 exec,
                 names::C[l],
@@ -659,18 +643,18 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
                 lv.flags,
                 lv.block_flags,
                 &coll[l],
-                dst,
+                &mut dst,
                 lv.real,
             );
         }
         OpKind::Fused { accumulate } => {
-            let dst: &mut Field<T> = unsafe { &mut *lv.halves[1 - sh].0 };
+            let mut dst = lv.halves.write(1 - sh);
             kernels::fused_stream_collide(
                 exec,
                 names::CASE[l],
                 inputs,
                 &coll[l],
-                dst,
+                &mut dst,
                 if accumulate { accum } else { None },
                 lv.real,
             );

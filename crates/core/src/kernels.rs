@@ -11,9 +11,9 @@
 //! Kernel launches go through the virtual GPU [`Executor`]; each declares
 //! its honest per-cell traffic so the device model can price it.
 
-use lbm_gpu::{AtomicF64Field, Executor, LaunchCost};
+use lbm_gpu::{coalescing_efficiency, AtomicF64Field, Executor, LaunchCost};
 use lbm_lattice::{Collision, Real, VelocitySet, MAX_Q};
-use lbm_sparse::{Field, SparseGrid, StreamOffsets, CENTER_SLOT};
+use lbm_sparse::{Field, LayoutRuns, Slots, SparseGrid, CENTER_SLOT};
 
 use crate::flags::{BlockFlags, CellFlags};
 use crate::level::Level;
@@ -22,6 +22,17 @@ use crate::links::{decode_ref, BlockLinks, LinkKind, NO_TARGET};
 /// Value-size in bytes of the population scalar.
 fn value_bytes<T>() -> u64 {
     std::mem::size_of::<T>() as u64
+}
+
+/// Coalescing efficiency of warp accesses to `f` under its layout: the
+/// layout's contiguous run length fed into the transaction model of
+/// [`coalescing_efficiency`]. BlockSoA yields 1.0; AoS / narrow tiles
+/// charge their excess as uncoalesced bytes on the device model.
+fn layout_coalescing<T: Copy>(f: &Field<T>) -> f64 {
+    coalescing_efficiency(
+        f.layout().contiguous_run(f.cells_per_block()) as u64,
+        value_bytes::<T>(),
+    )
 }
 
 /// Which implementation eligible (fully-interior, stencil-complete) blocks
@@ -39,8 +50,10 @@ fn value_bytes<T>() -> u64 {
 /// [`General`]: InteriorPath::General
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum InteriorPath {
-    /// Direction-major traversal over precomputed [`StreamOffsets`]
-    /// regions: branch-free contiguous-run copies (the optimized path).
+    /// Direction-major traversal over precomputed
+    /// [`StreamOffsets`](lbm_sparse::StreamOffsets) regions, lowered to the
+    /// level's layout: branch-free contiguous-run copies (the optimized
+    /// path).
     #[default]
     DirMajor,
     /// Cell-major per-cell pull with inline neighbor resolution (the
@@ -87,9 +100,10 @@ pub struct StreamInputs<'a, T> {
     /// at `t + Δt_c/2` uses `(1+b)·f(t) − b·f(t−Δt_c)` with `b = 0.5`;
     /// `b = 0` reproduces the paper's zeroth-order hold.
     pub explosion_blend: f64,
-    /// Precomputed per-direction source decompositions for this level's
-    /// block size (shared per `(block_size, velocity set)` pair).
-    pub offsets: &'a StreamOffsets,
+    /// Precomputed per-direction gather plans, lowered to element space for
+    /// this level's block size *and* the fields' memory layout (shared per
+    /// `(block_size, velocity set, layout)` triple).
+    pub runs: &'a LayoutRuns,
     /// Fast-path selection for eligible interior blocks.
     pub interior_path: InteriorPath,
 }
@@ -113,7 +127,7 @@ impl<'a, T: Real> StreamInputs<'a, T> {
             },
             coarse_prev: None,
             explosion_blend: 0.0,
-            offsets: &level.offsets,
+            runs: &level.runs,
             interior_path: InteriorPath::default(),
         }
     }
@@ -177,13 +191,14 @@ pub struct StreamOptions {
 
 /// Per-block gather context: resolves same-level pull sources with pure
 /// integer adds and compares (no divisions, no `Coord` arithmetic),
-/// reading through the raw AoSoA slice. This is the hot path of every
-/// streaming-family kernel.
+/// reading through the raw per-block slice with the field's [`Slots`]
+/// resolver hoisted once. This is the hot path of every streaming-family
+/// kernel.
 struct BlockGather<'a, T> {
     src_all: &'a [T],
     block_base: usize,
     stride: usize,
-    cpb: usize,
+    slots: Slots,
     bsz: i32,
     neighbors: &'a [lbm_sparse::BlockIdx; lbm_sparse::grid::NEIGHBOR_SLOTS],
 }
@@ -196,7 +211,7 @@ impl<'a, T: Real> BlockGather<'a, T> {
             src_all: src.as_slice(),
             block_base: b as usize * stride,
             stride,
-            cpb: src.cells_per_block(),
+            slots: src.slots(),
             bsz: grid.block_size() as i32,
             neighbors: &grid.block(b).neighbors,
         }
@@ -242,23 +257,25 @@ impl<'a, T: Real> BlockGather<'a, T> {
             debug_assert_ne!(nb, lbm_sparse::INVALID_BLOCK, "gather into missing block");
             nb as usize * self.stride
         };
-        self.src_all[base + i * self.cpb + scell]
+        self.src_all[base + self.slots.of(i, scell)]
     }
 
     /// Direction-major interior gather: for every direction, executes the
-    /// precomputed flattened copy runs of [`StreamOffsets`] into `out`.
-    /// Reads exactly the addresses the per-cell [`BlockGather::pull`]
-    /// would read (the tables are the closed form of its branch chains), so
-    /// the result is bit-identical — but the inner loop is a straight
-    /// `copy_from_slice` with no per-cell branching, which the compiler
-    /// lowers to memcpy/vector moves (the rest direction is a single `B³`
-    /// memcpy). Callers must only use this on blocks whose needed neighbor
-    /// slots all exist ([`BlockFlags::STENCIL_COMPLETE`]).
+    /// precomputed element-space [`MemRun`](lbm_sparse::MemRun) plans of the
+    /// level's layout into `out`. Reads exactly the addresses the per-cell
+    /// [`BlockGather::pull`] would read (the tables are the closed form of
+    /// its branch chains, lowered through the same [`Slots`] bijection), so
+    /// the result is bit-identical for *every* layout — but the inner loop
+    /// is a straight `copy_from_slice` with no per-cell branching. Under
+    /// BlockSoA the rest direction is a single `B³` memcpy; tiled layouts
+    /// copy tile-bounded segments; AoS degenerates to strided scalar moves.
+    /// Callers must only use this on blocks whose needed neighbor slots all
+    /// exist ([`BlockFlags::STENCIL_COMPLETE`]).
     #[inline(always)]
-    fn gather_dir_major(&self, offsets: &StreamOffsets, q: usize, out: &mut [T]) {
+    fn gather_dir_major(&self, runs: &LayoutRuns, q: usize, out: &mut [T]) {
+        debug_assert_eq!(runs.layout(), self.slots.layout(), "plan/field layout mismatch");
         for i in 0..q {
-            let comp = i * self.cpb;
-            for e in &offsets.dir(i).runs {
+            for e in runs.dir(i) {
                 let src_block = if e.slot == CENTER_SLOT {
                     self.block_base
                 } else {
@@ -271,11 +288,12 @@ impl<'a, T: Real> BlockGather<'a, T> {
                     nb as usize * self.stride
                 };
                 let (mut dst, mut src) =
-                    (comp + e.dst_base as usize, src_block + comp + e.src_base as usize);
+                    (e.dst_off as usize, src_block + e.src_off as usize);
                 let (len, stride) = (e.len as usize, e.stride as usize);
                 if len == 1 {
-                    // One-cell spill columns (e.g. the x-face of the block):
-                    // a strided scalar loop beats per-element memcpy calls.
+                    // One-cell spill columns (e.g. the x-face of the block)
+                    // and AoS-lowered runs: a strided scalar loop beats
+                    // per-element memcpy calls.
                     for _ in 0..e.count {
                         out[dst] = self.src_all[src];
                         dst += stride;
@@ -355,12 +373,15 @@ pub fn stream<T: Real, V: VelocitySet>(
     let q = V::Q;
     let cpb = inp.grid.cells_per_block();
     let stride = dst.block_stride();
-    // Traffic: q loads (neighbors) + q stores per real cell.
+    let sl = dst.slots();
+    // Traffic: q loads (neighbors) + q stores per real cell, discounted by
+    // the layout's coalescing efficiency.
     let cost = LaunchCost::cells(real_cells)
         .loads(q as u64)
         .stores(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(cpb)
+        .coalescing(layout_coalescing(dst))
         .build();
     let grid = inp.grid;
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
@@ -369,7 +390,7 @@ pub fn stream<T: Real, V: VelocitySet>(
         let cdir = dir_table::<V>();
         if interior_fast_path(inp.block_flags[b as usize], inp.interior_path) {
             match inp.interior_path {
-                InteriorPath::DirMajor => g.gather_dir_major(inp.offsets, q, out),
+                InteriorPath::DirMajor => g.gather_dir_major(inp.runs, q, out),
                 _ => {
                     // Legacy cell-major fast path: per-cell pull with
                     // inline neighbor resolution.
@@ -377,9 +398,9 @@ pub fn stream<T: Real, V: VelocitySet>(
                     for lz in 0..bsz {
                         for ly in 0..bsz {
                             for lx in 0..bsz {
-                                out[cell] = g.src_all[g.block_base + cell]; // rest
+                                out[sl.of(0, cell)] = g.src_all[g.block_base + g.slots.of(0, cell)]; // rest
                                 for i in 1..q {
-                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
+                                    out[sl.of(i, cell)] = g.pull(lx, ly, lz, i, cdir[i]);
                                 }
                                 cell += 1;
                             }
@@ -407,11 +428,11 @@ pub fn stream<T: Real, V: VelocitySet>(
                             t.scatter_from(inp.src, b, cell as u32);
                         }
                     }
-                    out[cell] = g.src_all[g.block_base + cell]; // rest
+                    out[sl.of(0, cell)] = g.src_all[g.block_base + g.slots.of(0, cell)]; // rest
                     match links.of(cell as u32) {
                         None => {
                             for i in 1..q {
-                                out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
+                                out[sl.of(i, cell)] = g.pull(lx, ly, lz, i, cdir[i]);
                             }
                         }
                         Some(set) => {
@@ -428,11 +449,11 @@ pub fn stream<T: Real, V: VelocitySet>(
                                         _ => true, // boundaries always resolve in S
                                     };
                                     if handled {
-                                        out[i * cpb + cell] =
+                                        out[sl.of(i, cell)] =
                                             resolve_link(kind, &inp, b, cell as u32, i);
                                     }
                                 } else {
-                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
+                                    out[sl.of(i, cell)] = g.pull(lx, ly, lz, i, cdir[i]);
                                 }
                             }
                         }
@@ -478,7 +499,9 @@ pub fn explosion<T: Real, V: VelocitySet>(
         .stores(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(cpb)
+        .coalescing(layout_coalescing(dst))
         .build();
+    let sl = dst.slots();
     // Unlike stream/fused_stream_collide there is no `V::C` table to hoist
     // here: the kernel walks precomputed link sets and never consults
     // direction components.
@@ -487,7 +510,7 @@ pub fn explosion<T: Real, V: VelocitySet>(
         for set in &links.cells {
             for l in &set.links {
                 if matches!(l.kind, LinkKind::Explosion { .. }) {
-                    out[l.dir as usize * cpb + set.cell as usize] =
+                    out[sl.of(l.dir as usize, set.cell as usize)] =
                         resolve_link(&l.kind, &inp, b, set.cell, l.dir as usize);
                 }
             }
@@ -513,13 +536,15 @@ pub fn coalesce<T: Real, V: VelocitySet>(
         .stores(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(cpb)
+        .coalescing(layout_coalescing(dst))
         .build();
+    let sl = dst.slots();
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let links = &inp.links[b as usize];
         for set in &links.cells {
             for l in &set.links {
                 if let LinkKind::Coalesce { src, inv_count } = l.kind {
-                    out[l.dir as usize * cpb + set.cell as usize] =
+                    out[sl.of(l.dir as usize, set.cell as usize)] =
                         T::from_f64(inp.acc.load(src.block, l.dir as usize, src.cell)) * inv_count;
                 }
             }
@@ -551,7 +576,9 @@ pub fn collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
         .stores(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(cpb)
+        .coalescing(layout_coalescing(dst))
         .build();
+    let sl = dst.slots();
     let _ = block_flags;
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
         let blk = grid.block(b);
@@ -563,11 +590,11 @@ pub fn collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
             }
             let mut f = [T::ZERO; MAX_Q];
             for i in 0..q {
-                f[i] = out[i * cpb + cell as usize];
+                f[i] = out[sl.of(i, cell as usize)];
             }
             op.collide(&mut f);
             for i in 0..q {
-                out[i * cpb + cell as usize] = f[i];
+                out[sl.of(i, cell as usize)] = f[i];
             }
         }
     });
@@ -591,6 +618,7 @@ pub fn accumulate_scatter<T: Real, V: VelocitySet>(
         .atomics(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(grid.cells_per_block())
+        .coalescing(layout_coalescing(src))
         .build();
     exec.launch(name, grid.num_blocks(), cost, |b| {
         if tables.targets[b as usize].is_none() {
@@ -627,6 +655,7 @@ pub fn accumulate_gather<T: Real, V: VelocitySet>(
         .stores(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(coarse_grid.cells_per_block())
+        .coalescing(layout_coalescing(fine_src))
         .build();
     exec.launch(name, coarse_grid.num_blocks(), cost, |b| {
         for e in &gather[b as usize] {
@@ -665,11 +694,13 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
     let q = V::Q;
     let cpb = inp.grid.cells_per_block();
     let stride = dst.block_stride();
+    let sl = dst.slots();
     let cost = LaunchCost::cells(real_cells)
         .loads(q as u64)
         .stores(q as u64)
         .value_bytes(value_bytes::<T>())
         .thread_block(cpb)
+        .coalescing(layout_coalescing(dst))
         .build();
     let grid = inp.grid;
     exec.launch_mut(name, dst.as_mut_slice(), stride, cost, |b, out| {
@@ -682,15 +713,15 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
             // no accumulating cells (their `acc_target` entry is `None`),
             // so the fused kernel reduces to gather + in-place collide.
             match inp.interior_path {
-                InteriorPath::DirMajor => g.gather_dir_major(inp.offsets, q, out),
+                InteriorPath::DirMajor => g.gather_dir_major(inp.runs, q, out),
                 _ => {
                     let mut cell = 0usize;
                     for lz in 0..bsz {
                         for ly in 0..bsz {
                             for lx in 0..bsz {
-                                out[cell] = g.src_all[g.block_base + cell]; // rest
+                                out[sl.of(0, cell)] = g.src_all[g.block_base + g.slots.of(0, cell)]; // rest
                                 for i in 1..q {
-                                    out[i * cpb + cell] = g.pull(lx, ly, lz, i, cdir[i]);
+                                    out[sl.of(i, cell)] = g.pull(lx, ly, lz, i, cdir[i]);
                                 }
                                 cell += 1;
                             }
@@ -701,11 +732,11 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
             for cell in 0..cpb {
                 let mut f = [T::ZERO; MAX_Q];
                 for i in 0..q {
-                    f[i] = out[i * cpb + cell];
+                    f[i] = out[sl.of(i, cell)];
                 }
                 op.collide(&mut f);
                 for i in 0..q {
-                    out[i * cpb + cell] = f[i];
+                    out[sl.of(i, cell)] = f[i];
                 }
             }
             return;
@@ -728,7 +759,7 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
                         }
                     }
                     let mut f = [T::ZERO; MAX_Q];
-                    f[0] = g.src_all[g.block_base + cell];
+                    f[0] = g.src_all[g.block_base + g.slots.of(0, cell)];
                     match links.of(cell as u32) {
                         None => {
                             for i in 1..q {
@@ -750,7 +781,7 @@ pub fn fused_stream_collide<T: Real, V: VelocitySet, C: Collision<T, V>>(
                     }
                     op.collide(&mut f);
                     for i in 0..q {
-                        out[i * cpb + cell] = f[i];
+                        out[sl.of(i, cell)] = f[i];
                     }
                     cell += 1;
                 }

@@ -11,7 +11,7 @@
 use lbm_core::{AllWalls, Engine, GridSpec, InteriorPath, MultiGrid, Variant};
 use lbm_gpu::{DeviceModel, Executor};
 use lbm_lattice::{Bgk, D3Q19, D3Q27, VelocitySet};
-use lbm_sparse::Box3;
+use lbm_sparse::{Box3, Layout};
 use proptest::prelude::*;
 
 /// A randomized 2-level refinement case: nested box geometry, block size,
@@ -64,9 +64,12 @@ fn random_case() -> impl Strategy<Value = Case> {
         })
 }
 
-/// Builds one engine for the case with the given interior path, seeded
-/// with a deterministic off-equilibrium state (identical across paths).
-fn build<V: VelocitySet>(c: &Case, path: InteriorPath) -> Engine<f64, V, Bgk<f64>> {
+/// Builds one engine for the case with the given interior path and memory
+/// layout, seeded with a deterministic off-equilibrium state. The
+/// perturbation walks cells in canonical `(block, direction, cell)` order
+/// through the accessor API, so the seeded *logical* state is identical
+/// across layouts, not just across paths.
+fn build<V: VelocitySet>(c: &Case, path: InteriorPath, layout: Layout) -> Engine<f64, V, Bgk<f64>> {
     let (lo, hi) = (c.lo, c.hi);
     // `finest_domain` is in finest-level coordinates: 10·B per axis makes
     // the coarse level exactly 5 blocks per axis.
@@ -88,17 +91,28 @@ fn build<V: VelocitySet>(c: &Case, path: InteriorPath) -> Engine<f64, V, Bgk<f64
         .collision(Bgk::new(c.omega0))
         .variant(variant)
         .interior_path(path)
+        .layout(layout)
         .build(Executor::sequential(DeviceModel::a100_40gb()));
     let u = c.u;
     eng.grid.init_equilibrium(|_, _| 1.0, move |_, _| u);
     // Kick every slot off equilibrium with a deterministic multiplicative
     // perturbation, so streaming moves asymmetric data in every direction.
     for level in &mut eng.grid.levels {
+        let blocks = level.grid.num_blocks() as u32;
+        let f = level.f.src_mut();
+        let cpb = f.cells_per_block() as u32;
         let mut state = 0x9E3779B97F4A7C15u64;
-        for v in level.f.src_mut().as_mut_slice() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let jitter = (state >> 40) as f64 / (1u64 << 24) as f64; // [0, 1)
-            *v *= 1.0 + 1e-3 * (jitter - 0.5);
+        for blk in 0..blocks {
+            for i in 0..V::Q {
+                for cell in 0..cpb {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let jitter = (state >> 40) as f64 / (1u64 << 24) as f64; // [0, 1)
+                    let v = f.get(blk, i, cell);
+                    f.set(blk, i, cell, v * (1.0 + 1e-3 * (jitter - 0.5)));
+                }
+            }
         }
     }
     eng
@@ -112,7 +126,10 @@ fn assert_paths_bit_identical<V: VelocitySet>(c: &Case) -> Result<(), String> {
         InteriorPath::CellMajor,
         InteriorPath::General,
     ];
-    let mut engines: Vec<_> = paths.iter().map(|&p| build::<V>(c, p)).collect();
+    let mut engines: Vec<_> = paths
+        .iter()
+        .map(|&p| build::<V>(c, p, Layout::default()))
+        .collect();
     // Every level must actually exercise the fast path, or the test would
     // pass vacuously through the general path alone.
     for (l, lv) in engines[0].grid.levels.iter().enumerate() {
@@ -161,6 +178,88 @@ proptest! {
             prop_assert!(false, "{}", e);
         }
     }
+}
+
+/// Runs the case under every `(interior path, memory layout)` pair and
+/// asserts the *logical* population state — read back per
+/// `(block, direction, cell)` through the accessor API, since the raw
+/// slice order legitimately differs between layouts — is bit-identical
+/// across all pairs on every level.
+fn assert_paths_layouts_bit_identical<V: VelocitySet>(c: &Case) -> Result<(), String> {
+    let paths = [
+        InteriorPath::DirMajor,
+        InteriorPath::CellMajor,
+        InteriorPath::General,
+    ];
+    let layouts = [
+        Layout::BlockSoA,
+        Layout::CellAoS,
+        Layout::Tiled { width: 32 },
+    ];
+    let mut engines = Vec::new();
+    for &p in &paths {
+        for &l in &layouts {
+            engines.push(((p, l), build::<V>(c, p, l)));
+        }
+    }
+    for (_, eng) in &mut engines {
+        eng.run(c.steps);
+    }
+    let ((k0, a), rest) = engines.split_first().unwrap();
+    for (k, b) in rest {
+        for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
+            let (fa, fb) = (la.f.src(), lb.f.src());
+            let cpb = fa.cells_per_block() as u32;
+            for blk in 0..la.grid.num_blocks() as u32 {
+                for i in 0..V::Q {
+                    for cell in 0..cpb {
+                        let (x, y) = (fa.get(blk, i, cell), fb.get(blk, i, cell));
+                        if x.to_bits() != y.to_bits() {
+                            return Err(format!(
+                                "{k0:?} and {k:?} diverge at level {l} block {blk} \
+                                 dir {i} cell {cell}: {x:e} vs {y:e}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every interior path × every memory layout computes the same bits on a
+/// refined D3Q19 case (both block sizes): the layout only permutes where
+/// values live inside a block, never which values are computed.
+#[test]
+fn paths_and_layouts_bit_identical_d3q19() {
+    for block_size in [4usize, 8] {
+        let c = Case {
+            lo: [2, 2, 3],
+            hi: [9, 10, 9],
+            block_size,
+            fused: true,
+            omega0: 1.4,
+            u: [0.02, -0.015, 0.01],
+            steps: 2,
+        };
+        assert_paths_layouts_bit_identical::<D3Q19>(&c).unwrap();
+    }
+}
+
+/// Same crossing on the full 27-direction stencil, unfused variant.
+#[test]
+fn paths_and_layouts_bit_identical_d3q27() {
+    let c = Case {
+        lo: [3, 2, 2],
+        hi: [10, 9, 10],
+        block_size: 4,
+        fused: false,
+        omega0: 1.2,
+        u: [-0.01, 0.02, 0.015],
+        steps: 2,
+    };
+    assert_paths_layouts_bit_identical::<D3Q27>(&c).unwrap();
 }
 
 /// The 27-direction stencil uses all 8 regions per corner direction; pin

@@ -9,9 +9,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A flat array of atomically-addressable `f64` accumulators with the same
-/// AoSoA indexing as [`lbm_sparse::field::Field`]:
-/// `block · q·B³ + comp · B³ + cell`.
+/// A flat array of atomically-addressable `f64` accumulators with fixed
+/// component-major (BlockSoA) indexing `block · q·B³ + comp · B³ + cell` —
+/// regardless of which [`lbm_sparse::Layout`] the population fields use,
+/// since every access goes through the accessors below and the scatter
+/// kernels never alias it with a population buffer.
 #[derive(Debug)]
 pub struct AtomicF64Field {
     q: usize,

@@ -29,7 +29,8 @@ pub mod memory;
 
 pub use atomic::AtomicF64Field;
 pub use counters::{
-    with_span_context, KernelSpan, KernelStats, LaunchCost, LaunchCostBuilder, Profiler,
+    coalescing_efficiency, with_span_context, KernelSpan, KernelStats, LaunchCost,
+    LaunchCostBuilder, Profiler,
 };
 pub use device::DeviceModel;
 pub use exec::Executor;

@@ -1,13 +1,20 @@
-//! AoSoA field storage over a [`SparseGrid`](crate::grid::SparseGrid)
+//! Block-sparse field storage over a [`SparseGrid`](crate::grid::SparseGrid)
 //! (paper §V-A, Fig. 5).
 //!
-//! Per block, the `q` components of a vector field are stored contiguously,
-//! grouped by component: `data[block · q·B³ + comp · B³ + cell]`. Each block
-//! maps to one "CUDA block" of the virtual GPU, and within a component the
-//! cells of a block are contiguous — the layout that guarantees coalesced
-//! accesses on real hardware and cache-line-friendly sweeps here.
+//! Blocks are always contiguous (`block_stride = q·B³` elements each) —
+//! that is what lets the executor hand kernels disjoint per-block chunks —
+//! but the placement of `(comp, cell)` *within* a block is a pluggable
+//! [`Layout`] strategy. The default, [`Layout::BlockSoA`], is the paper's
+//! component-major layout `data[block · q·B³ + comp · B³ + cell]`: within a
+//! component the cells of a block are contiguous, which guarantees
+//! coalesced accesses on real hardware and cache-line-friendly sweeps here.
+//! See [`crate::layout`] for the alternatives and what they trade.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicIsize, Ordering};
 
 use crate::grid::{BlockIdx, SparseGrid};
+use crate::layout::{Layout, Slots};
 
 /// A `q`-component field over the active blocks of a sparse grid.
 ///
@@ -17,17 +24,26 @@ use crate::grid::{BlockIdx, SparseGrid};
 pub struct Field<T> {
     q: usize,
     cells_per_block: usize,
+    layout: Layout,
     data: Vec<T>,
 }
 
 impl<T: Copy> Field<T> {
-    /// Allocates the field for `grid`, filling every slot with `init`.
+    /// Allocates the field for `grid` in the default [`Layout::BlockSoA`],
+    /// filling every slot with `init`.
     pub fn new(grid: &SparseGrid, q: usize, init: T) -> Self {
+        Self::with_layout(grid, q, init, Layout::BlockSoA)
+    }
+
+    /// Allocates the field in the given intra-block layout.
+    pub fn with_layout(grid: &SparseGrid, q: usize, init: T, layout: Layout) -> Self {
         assert!(q >= 1, "field needs at least one component");
         let cpb = grid.cells_per_block();
+        layout.validate(cpb);
         Self {
             q,
             cells_per_block: cpb,
+            layout,
             data: vec![init; grid.num_blocks() * q * cpb],
         }
     }
@@ -44,8 +60,20 @@ impl<T: Copy> Field<T> {
         self.cells_per_block
     }
 
-    /// Elements per block (`q · B³`): the chunk size for per-block
-    /// parallel mutation.
+    /// The intra-block layout.
+    #[inline(always)]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The intra-block slot resolver (see [`Slots`]).
+    #[inline(always)]
+    pub fn slots(&self) -> Slots {
+        self.layout.slots(self.q, self.cells_per_block)
+    }
+
+    /// Elements per block (`q · B³`, layout-invariant): the chunk size for
+    /// per-block parallel mutation.
     #[inline(always)]
     pub fn block_stride(&self) -> usize {
         self.q * self.cells_per_block
@@ -57,12 +85,14 @@ impl<T: Copy> Field<T> {
         self.data.len() / self.block_stride()
     }
 
-    /// Flat index of `(block, comp, cell)` in the AoSoA layout.
+    /// Flat index of `(block, comp, cell)`. All indexing — accessors here,
+    /// kernels elsewhere — goes through the layout's slot resolver; for
+    /// every layout this is a bijection onto `0..len`.
     #[inline(always)]
     pub fn index(&self, block: BlockIdx, comp: usize, cell: u32) -> usize {
         debug_assert!(comp < self.q);
         debug_assert!((cell as usize) < self.cells_per_block);
-        (block as usize) * self.block_stride() + comp * self.cells_per_block + cell as usize
+        (block as usize) * self.block_stride() + self.slots().of(comp, cell as usize)
     }
 
     /// Reads one value.
@@ -92,10 +122,17 @@ impl<T: Copy> Field<T> {
         &mut self.data[(block as usize) * s..(block as usize + 1) * s]
     }
 
-    /// Read-only view of one component within one block (`B³` values,
-    /// contiguous — the coalesced unit).
+    /// Read-only view of one component within one block (`B³` values).
+    /// Only layouts that keep a component's cells contiguous support this:
+    /// [`Layout::BlockSoA`], or any layout when `q == 1` (they all
+    /// coincide then).
     #[inline(always)]
     pub fn component(&self, block: BlockIdx, comp: usize) -> &[T] {
+        assert!(
+            self.q == 1 || self.layout == Layout::BlockSoA,
+            "component() needs a component-contiguous layout, not {:?}",
+            self.layout
+        );
         let base = (block as usize) * self.block_stride() + comp * self.cells_per_block;
         &self.data[base..base + self.cells_per_block]
     }
@@ -118,6 +155,28 @@ impl<T: Copy> Field<T> {
         self.data.fill(v);
     }
 
+    /// Re-packs the field into `layout`, preserving every `(block, comp,
+    /// cell)` value. A no-op if the layout already matches.
+    pub fn convert_layout(&mut self, layout: Layout) {
+        if layout == self.layout {
+            return;
+        }
+        layout.validate(self.cells_per_block);
+        let old = self.slots();
+        let new = layout.slots(self.q, self.cells_per_block);
+        let stride = self.block_stride();
+        let mut out = self.data.clone();
+        for (src, dst) in self.data.chunks_exact(stride).zip(out.chunks_exact_mut(stride)) {
+            for comp in 0..self.q {
+                for cell in 0..self.cells_per_block {
+                    dst[new.of(comp, cell)] = src[old.of(comp, cell)];
+                }
+            }
+        }
+        self.data = out;
+        self.layout = layout;
+    }
+
     /// Heap bytes held by the field (memory-model accounting).
     pub fn heap_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<T>()
@@ -133,13 +192,30 @@ pub struct DoubleBuffer<T> {
 }
 
 impl<T: Copy> DoubleBuffer<T> {
-    /// Allocates two identical fields.
+    /// Allocates two identical fields in the default layout.
     pub fn new(grid: &SparseGrid, q: usize, init: T) -> Self {
+        Self::with_layout(grid, q, init, Layout::BlockSoA)
+    }
+
+    /// Allocates two identical fields in the given layout.
+    pub fn with_layout(grid: &SparseGrid, q: usize, init: T, layout: Layout) -> Self {
         Self {
-            a: Field::new(grid, q, init),
-            b: Field::new(grid, q, init),
+            a: Field::with_layout(grid, q, init, layout),
+            b: Field::with_layout(grid, q, init, layout),
             flipped: false,
         }
+    }
+
+    /// The intra-block layout of both halves.
+    #[inline(always)]
+    pub fn layout(&self) -> Layout {
+        self.a.layout()
+    }
+
+    /// Re-packs both halves into `layout` (see [`Field::convert_layout`]).
+    pub fn convert_layout(&mut self, layout: Layout) {
+        self.a.convert_layout(layout);
+        self.b.convert_layout(layout);
     }
 
     /// Current source (read) field.
@@ -201,8 +277,8 @@ impl<T: Copy> DoubleBuffer<T> {
         self.flipped = !self.flipped;
     }
 
-    /// Current parity: the *half index* (see [`DoubleBuffer::half_ptrs`])
-    /// of the source buffer. 0 before the first [`DoubleBuffer::swap`],
+    /// Current parity: the *half index* (see [`DoubleBuffer::half`]) of the
+    /// source buffer. 0 before the first [`DoubleBuffer::swap`],
     /// alternating thereafter.
     #[inline(always)]
     pub fn parity(&self) -> usize {
@@ -220,18 +296,135 @@ impl<T: Copy> DoubleBuffer<T> {
         }
     }
 
-    /// Raw pointers to both halves, `[half 0, half 1]`, for executors that
-    /// record kernels touching specific halves before running them. The
-    /// caller promises the usual aliasing rules: no half is read while
-    /// another kernel writes it (the dependency graph enforces exactly
-    /// this).
-    pub fn half_ptrs(&mut self) -> [*mut Field<T>; 2] {
-        [&mut self.a as *mut _, &mut self.b as *mut _]
+    /// Splits the buffer into independently borrowable halves for
+    /// executors that dispatch kernels touching specific halves
+    /// concurrently (graph waves). The returned handle borrows the buffer
+    /// exclusively; within it, [`SplitHalves::read`] and
+    /// [`SplitHalves::write`] hand out per-half guards with runtime
+    /// borrow checking — a schedule that lets a reader and a writer of the
+    /// same half overlap panics deterministically instead of racing.
+    pub fn split_mut(&mut self) -> SplitHalves<'_, T> {
+        SplitHalves {
+            halves: [&mut self.a as *mut _, &mut self.b as *mut _],
+            state: [AtomicIsize::new(0), AtomicIsize::new(0)],
+            _borrow: PhantomData,
+        }
     }
 
     /// Heap bytes of both buffers.
     pub fn heap_bytes(&self) -> usize {
         self.a.heap_bytes() + self.b.heap_bytes()
+    }
+}
+
+/// Exclusive handle over the two halves of a [`DoubleBuffer`], allowing
+/// concurrent kernels to borrow *different* halves (or share read access to
+/// the same half) with the aliasing rules enforced at runtime.
+///
+/// Per half, the state counter is a classic read/write lock without
+/// blocking: `0` free, `> 0` that many readers, `−1` one writer. A
+/// conflicting acquisition is a bug in the caller's dependency schedule and
+/// panics rather than waiting — the schedule is supposed to have proven the
+/// conflict impossible.
+pub struct SplitHalves<'a, T> {
+    halves: [*mut Field<T>; 2],
+    state: [AtomicIsize; 2],
+    _borrow: PhantomData<&'a mut DoubleBuffer<T>>,
+}
+
+// SAFETY: the handle owns an exclusive borrow of the buffer; all concurrent
+// access goes through the guard methods, which enforce the single-writer /
+// multi-reader discipline with the per-half state counters.
+unsafe impl<T: Send> Send for SplitHalves<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for SplitHalves<'_, T> {}
+
+impl<'a, T> SplitHalves<'a, T> {
+    /// Shared access to half `h`.
+    ///
+    /// # Panics
+    /// If a write guard for the same half is live (schedule bug).
+    pub fn read(&self, h: usize) -> HalfReadGuard<'_, T> {
+        let state = &self.state[h];
+        state
+            .fetch_update(Ordering::Acquire, Ordering::Relaxed, |s| {
+                (s >= 0).then_some(s + 1)
+            })
+            .unwrap_or_else(|_| {
+                panic!("half {h} is being written by a concurrent kernel (schedule bug)")
+            });
+        HalfReadGuard {
+            // SAFETY: state transition above excludes any live writer.
+            field: unsafe { &*self.halves[h] },
+            state,
+        }
+    }
+
+    /// Exclusive access to half `h`.
+    ///
+    /// # Panics
+    /// If any guard for the same half is live (schedule bug).
+    pub fn write(&self, h: usize) -> HalfWriteGuard<'_, T> {
+        let state = &self.state[h];
+        state
+            .compare_exchange(0, -1, Ordering::Acquire, Ordering::Relaxed)
+            .unwrap_or_else(|_| {
+                panic!("half {h} is borrowed by a concurrent kernel (schedule bug)")
+            });
+        HalfWriteGuard {
+            field: self.halves[h],
+            state,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Shared guard over one half (see [`SplitHalves::read`]).
+pub struct HalfReadGuard<'s, T> {
+    field: &'s Field<T>,
+    state: &'s AtomicIsize,
+}
+
+impl<T> std::ops::Deref for HalfReadGuard<'_, T> {
+    type Target = Field<T>;
+    #[inline(always)]
+    fn deref(&self) -> &Field<T> {
+        self.field
+    }
+}
+
+impl<T> Drop for HalfReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive guard over one half (see [`SplitHalves::write`]).
+pub struct HalfWriteGuard<'s, T> {
+    field: *mut Field<T>,
+    state: &'s AtomicIsize,
+    _marker: PhantomData<&'s mut Field<T>>,
+}
+
+impl<T> std::ops::Deref for HalfWriteGuard<'_, T> {
+    type Target = Field<T>;
+    #[inline(always)]
+    fn deref(&self) -> &Field<T> {
+        // SAFETY: the −1 state excludes every other guard for this half.
+        unsafe { &*self.field }
+    }
+}
+
+impl<T> std::ops::DerefMut for HalfWriteGuard<'_, T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut Field<T> {
+        // SAFETY: as in Deref.
+        unsafe { &mut *self.field }
+    }
+}
+
+impl<T> Drop for HalfWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.state.store(0, Ordering::Release);
     }
 }
 
@@ -248,10 +441,24 @@ mod tests {
         gb.build(SpaceFillingCurve::Morton)
     }
 
+    fn grid_b(b: usize, n: usize) -> SparseGrid {
+        let mut gb = GridBuilder::new(b);
+        gb.activate_box(Box3::from_dims(n, n, n));
+        gb.build(SpaceFillingCurve::Morton)
+    }
+
+    const LAYOUTS: [Layout; 4] = [
+        Layout::BlockSoA,
+        Layout::CellAoS,
+        Layout::Tiled { width: 8 },
+        Layout::Tiled { width: 32 },
+    ];
+
     #[test]
-    fn layout_is_aosoa() {
+    fn default_layout_is_aosoa() {
         let g = grid();
         let f = Field::<f64>::new(&g, 19, 0.0);
+        assert_eq!(f.layout(), Layout::BlockSoA);
         assert_eq!(f.block_stride(), 19 * 64);
         assert_eq!(f.num_blocks(), g.num_blocks());
         // Component slices are contiguous and disjoint per component.
@@ -259,6 +466,74 @@ mod tests {
         assert_eq!(f.index(0, 0, 63), 63);
         assert_eq!(f.index(0, 1, 0), 64);
         assert_eq!(f.index(1, 0, 0), 19 * 64);
+    }
+
+    /// `Field::index` is a bijection onto `0..len` and `get`/`set`
+    /// round-trips, for every layout × B ∈ {4, 8} × q ∈ {1, 19, 27}.
+    #[test]
+    fn index_bijection_and_roundtrip_every_layout() {
+        for layout in LAYOUTS {
+            for b in [4usize, 8] {
+                let g = grid_b(b, 2 * b);
+                for q in [1usize, 19, 27] {
+                    let mut f = Field::<u32>::with_layout(&g, q, 0, layout);
+                    let len = f.as_slice().len();
+                    let mut seen = vec![false; len];
+                    for blk in 0..g.num_blocks() as u32 {
+                        for comp in 0..q {
+                            for cell in 0..g.cells_per_block() as u32 {
+                                let i = f.index(blk, comp, cell);
+                                assert!(
+                                    !seen[i],
+                                    "{layout:?} B={b} q={q}: index {i} hit twice"
+                                );
+                                seen[i] = true;
+                                let v = blk * 100_000 + (comp as u32) * 1000 + cell;
+                                f.set(blk, comp, cell, v);
+                            }
+                        }
+                    }
+                    assert!(seen.iter().all(|&s| s), "{layout:?} B={b} q={q}: not onto");
+                    for blk in 0..g.num_blocks() as u32 {
+                        for comp in 0..q {
+                            for cell in 0..g.cells_per_block() as u32 {
+                                let v = blk * 100_000 + (comp as u32) * 1000 + cell;
+                                assert_eq!(f.get(blk, comp, cell), v, "{layout:?} B={b} q={q}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convert_layout_preserves_values() {
+        let g = grid();
+        let mut f = Field::<f64>::new(&g, 19, 0.0);
+        for blk in 0..g.num_blocks() as u32 {
+            for comp in 0..19 {
+                for cell in 0..64 {
+                    f.set(blk, comp, cell, (blk as f64) + 0.01 * comp as f64 + 1e-4 * cell as f64);
+                }
+            }
+        }
+        let reference = f.clone();
+        for layout in [Layout::CellAoS, Layout::Tiled { width: 16 }, Layout::BlockSoA] {
+            f.convert_layout(layout);
+            assert_eq!(f.layout(), layout);
+            for blk in 0..g.num_blocks() as u32 {
+                for comp in 0..19 {
+                    for cell in 0..64 {
+                        assert_eq!(
+                            f.get(blk, comp, cell).to_bits(),
+                            reference.get(blk, comp, cell).to_bits(),
+                            "{layout:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -271,6 +546,22 @@ mod tests {
         assert_eq!(f.block(2)[64 + 7], 42.5);
         f.fill(1.0);
         assert_eq!(f.get(2, 1, 7), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "component-contiguous")]
+    fn component_rejects_non_contiguous_layout() {
+        let g = grid();
+        let f = Field::<f64>::with_layout(&g, 19, 0.0, Layout::CellAoS);
+        let _ = f.component(0, 1);
+    }
+
+    #[test]
+    fn component_works_for_single_component_any_layout() {
+        let g = grid();
+        let mut f = Field::<u8>::with_layout(&g, 1, 0, Layout::CellAoS);
+        f.set(1, 0, 5, 9);
+        assert_eq!(f.component(1, 0)[5], 9);
     }
 
     #[test]
@@ -299,6 +590,46 @@ mod tests {
         dst.set(0, 0, 0, 7.0);
         db.swap();
         assert_eq!(db.src().get(0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn split_halves_allow_disjoint_and_shared_reads() {
+        let g = grid();
+        let mut db = DoubleBuffer::<f64>::new(&g, 1, 0.0);
+        db.src_mut().set(0, 0, 0, 3.0);
+        let halves = db.split_mut();
+        let r0 = halves.read(0);
+        let r0b = halves.read(0); // shared readers are fine
+        let mut w1 = halves.write(1);
+        w1.set(0, 0, 0, r0.get(0, 0, 0) * 2.0);
+        drop((r0, r0b));
+        drop(w1);
+        // Guards released: any access pattern is legal again.
+        let _w0 = halves.write(0);
+        let _r1 = halves.read(1);
+        drop((_w0, _r1));
+        drop(halves);
+        assert_eq!(db.half(1).get(0, 0, 0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule bug")]
+    fn split_halves_catch_read_write_conflict() {
+        let g = grid();
+        let mut db = DoubleBuffer::<f64>::new(&g, 1, 0.0);
+        let halves = db.split_mut();
+        let _r = halves.read(0);
+        let _w = halves.write(0); // same half: must panic
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule bug")]
+    fn split_halves_catch_double_write() {
+        let g = grid();
+        let mut db = DoubleBuffer::<f64>::new(&g, 1, 0.0);
+        let halves = db.split_mut();
+        let _w = halves.write(1);
+        let _w2 = halves.write(1);
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! - [`bitmask`]: per-block active-cell masks;
 //! - [`sfc`]: Sweep / Morton / Hilbert block ordering;
 //! - [`grid`]: the block-sparse grid topology with 27-slot neighbor tables;
-//! - [`field`]: AoSoA per-block field storage and double buffering;
+//! - [`field`]: per-block field storage and double buffering;
+//! - [`layout`]: pluggable intra-block memory layouts (SoA / AoS / tiled
+//!   AoSoA) every field access is resolved through;
 //! - [`offsets`]: precomputed per-direction streaming source decompositions
-//!   (the branch-free direction-major gather tables).
+//!   (the branch-free direction-major gather tables) and their per-layout
+//!   element-space lowerings.
 
 #![warn(missing_docs)]
 
@@ -18,12 +21,14 @@ pub mod bitmask;
 pub mod coords;
 pub mod field;
 pub mod grid;
+pub mod layout;
 pub mod offsets;
 pub mod sfc;
 
 pub use bitmask::BitMask;
 pub use coords::{Box3, Coord};
-pub use field::{DoubleBuffer, Field};
+pub use field::{DoubleBuffer, Field, HalfReadGuard, HalfWriteGuard, SplitHalves};
 pub use grid::{dir_slot, Block, BlockIdx, CellRef, GridBuilder, SparseGrid, INVALID_BLOCK};
-pub use offsets::{CopyRun, DirOffsets, DirRegion, StreamOffsets, CENTER_SLOT};
+pub use layout::{Layout, Slots};
+pub use offsets::{CopyRun, DirOffsets, DirRegion, LayoutRuns, MemRun, StreamOffsets, CENTER_SLOT};
 pub use sfc::SpaceFillingCurve;

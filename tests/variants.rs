@@ -7,7 +7,7 @@ use lbm_refinement::gpu::{DeviceModel, Executor};
 use lbm_refinement::lattice::{Bgk, VelocitySet, D3Q19, D3Q27};
 use lbm_refinement::problems::sphere::{SphereConfig, SphereFlow};
 use lbm_refinement::problems::tunnel_boundary;
-use lbm_refinement::sparse::{Box3, Coord};
+use lbm_refinement::sparse::{Box3, Coord, Layout};
 
 fn low_re_flow() -> SphereFlow {
     let mut c = SphereConfig::for_size([36, 24, 36]);
@@ -159,6 +159,18 @@ fn mode_engine<V: VelocitySet>(
     variant: Variant,
     mode: ExecMode,
 ) -> Engine<f64, V, Bgk<f64>> {
+    seeded_engine(seed, variant, mode, Layout::default())
+}
+
+/// [`mode_engine`] with an explicit population memory layout. The initial
+/// condition goes through the accessor API, so the seeded logical state is
+/// identical regardless of where each value lands in memory.
+fn seeded_engine<V: VelocitySet>(
+    seed: u64,
+    variant: Variant,
+    mode: ExecMode,
+    layout: Layout,
+) -> Engine<f64, V, Bgk<f64>> {
     let (lo, hi) = random_box(seed);
     let spec = GridSpec::new(2, Box3::from_dims(24, 24, 24), move |l, p| {
         l == 0
@@ -171,6 +183,7 @@ fn mode_engine<V: VelocitySet>(
         .collision(Bgk::new(1.6))
         .variant(variant)
         .exec_mode(mode)
+        .layout(layout)
         .build(Executor::sequential(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(
         |_, _| 1.0,
@@ -241,6 +254,95 @@ fn graph_mode_bit_identical_to_eager_d3q27() {
             check_modes_agree::<D3Q27>(seed, variant, 2);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Memory layouts: the layout strategy only permutes where each population
+// lives inside a block, so every layout must compute bit-identical logical
+// state and declare identical traffic. Raw slices differ by construction —
+// the comparison reads back per `(block, direction, cell)` through the
+// accessor API.
+
+/// Asserts bit-for-bit equality of the logical population state in both
+/// halves of every level's double buffer, layout-blind.
+fn assert_logical_bits_identical<V: VelocitySet>(
+    a: &Engine<f64, V, Bgk<f64>>,
+    b: &Engine<f64, V, Bgk<f64>>,
+    what: &str,
+) {
+    for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
+        for h in 0..2 {
+            let (fa, fb) = (la.f.half(h), lb.f.half(h));
+            let cpb = fa.cells_per_block() as u32;
+            for blk in 0..la.grid.num_blocks() as u32 {
+                for i in 0..V::Q {
+                    for cell in 0..cpb {
+                        let (x, y) = (fa.get(blk, i, cell), fb.get(blk, i, cell));
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "{what}: level {l} half {h} block {blk} dir {i} \
+                             cell {cell}: {x:e} vs {y:e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one seeded geometry under every layout and checks logical state
+/// and declared traffic against the block-SoA reference.
+fn check_layouts_agree<V: VelocitySet>(seed: u64, variant: Variant, mode: ExecMode, steps: usize) {
+    let layouts = [
+        Layout::BlockSoA,
+        Layout::CellAoS,
+        Layout::Tiled { width: 32 },
+    ];
+    let mut engines: Vec<_> = layouts
+        .iter()
+        .map(|&l| seeded_engine::<V>(seed, variant, mode, l))
+        .collect();
+    for eng in &mut engines {
+        eng.run(steps);
+    }
+    let (a, rest) = engines.split_first().unwrap();
+    for (k, b) in rest.iter().enumerate() {
+        let what = format!(
+            "seed {seed} {} {} {mode:?}: {:?} vs {:?}",
+            variant.name(),
+            V::NAME,
+            layouts[0],
+            layouts[k + 1]
+        );
+        assert_logical_bits_identical(a, b, &what);
+        // The layout changes coalescing (modeled stall time), never the
+        // declared traffic or the kernel count.
+        let ta = a.exec.profiler().total();
+        let tb = b.exec.profiler().total();
+        assert_eq!(ta.launches, tb.launches, "{what}: launches");
+        assert_eq!(ta.bytes_read, tb.bytes_read, "{what}: bytes read");
+        assert_eq!(ta.bytes_written, tb.bytes_written, "{what}: bytes written");
+        assert_eq!(ta.atomic_bytes, tb.atomic_bytes, "{what}: atomic bytes");
+    }
+}
+
+#[test]
+fn layouts_bit_identical_d3q19_all_variants() {
+    for variant in Variant::ALL {
+        check_layouts_agree::<D3Q19>(21, variant, ExecMode::Eager, 2);
+    }
+}
+
+#[test]
+fn layouts_bit_identical_d3q27() {
+    check_layouts_agree::<D3Q27>(22, Variant::FusedAll, ExecMode::Eager, 2);
+    check_layouts_agree::<D3Q27>(23, Variant::ModifiedBaseline, ExecMode::Eager, 2);
+}
+
+#[test]
+fn layouts_bit_identical_under_graph_mode() {
+    check_layouts_agree::<D3Q19>(24, Variant::FusedAll, ExecMode::Graph, 2);
+    check_layouts_agree::<D3Q27>(25, Variant::FusedAll, ExecMode::Graph, 2);
 }
 
 #[test]
