@@ -15,6 +15,11 @@
 #    asserts every layout group computed bit-identical physics
 #    (`digests_match`) — also gated: the memory layout may only move
 #    values around, never change them.
+# 6. `report -- thread-sweep` smoke: regenerates BENCH_parallel.json and
+#    asserts the state digest is bit-identical at every pool width
+#    (`digests_match`) — gated: the staged Accumulate's ordered merge is
+#    a determinism contract (DESIGN.md §10). Speedups are NOT gated
+#    (CI runners are often single-core; see EXPERIMENTS.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +50,17 @@ for g in d["groups"]:
     assert g["digests_match"], f"layout digests differ in group: {g['velocity_set']} B={g['block_size']}"
     assert len(g["layouts"]) == 3, f"expected 3 layouts per group, got {len(g['layouts'])}"
 print("layout-sweep ok:", len(d["groups"]), "groups bit-identical across layouts")
+EOF
+    cargo run --release -q -p lbm-bench --bin report -- thread-sweep
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_parallel.json"))
+assert d["digests_match"], "thread sweep: physics digests differ across thread counts"
+assert len(d["cases"]) >= 4, f"expected >= 4 thread counts, got {len(d['cases'])}"
+assert any(c["staged"] for c in d["cases"]), "no case exercised the staged Accumulate"
+assert any(not c["staged"] for c in d["cases"]), "no case exercised the serial atomic path"
+print("thread-sweep ok:", len(d["cases"]), "pool widths bit-identical, digest",
+      d["cases"][0]["digest"])
 EOF
 fi
 

@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use lbm_bench::{cavity_case, graph_case, layout_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult};
+use lbm_bench::{cavity_case, graph_case, layout_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, thread_sweep_case, CaseResult, ThreadSweepResult};
 use lbm_compare::PalabosLike;
 use lbm_core::{alg1_graph, memory_report, step_graph, ExecMode, InteriorPath, MultiGrid, Variant};
 use lbm_gpu::{max_uniform_cube, DeviceModel, Executor};
@@ -45,6 +45,7 @@ fn main() {
         "bench-json" => bench_json(),
         "graph" => graph_report(),
         "layout-sweep" => layout_sweep(),
+        "thread-sweep" => thread_sweep(),
         "all" => {
             fig2();
             ghost();
@@ -57,7 +58,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph layout-sweep all");
+            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph layout-sweep thread-sweep all");
             std::process::exit(2);
         }
     }
@@ -657,6 +658,81 @@ fn layout_sweep() {
     );
     std::fs::write("BENCH_layout.json", &json).unwrap();
     println!("\nwrote BENCH_layout.json (all digests match: {all_match})");
+}
+
+/// Block-parallel kernel execution sweep → `BENCH_parallel.json`.
+///
+/// Runs the refined cavity at 1/2/4/8 pool threads and digests the final
+/// state of each run: the staged deterministic Accumulate (DESIGN.md §10)
+/// makes every digest bit-identical regardless of thread count — the
+/// `digests_match` field is what CI gates on. Speedups are reported
+/// honestly for this host and are **not** gated: they are entirely
+/// machine-dependent (a single-core container pays pool overhead and shows
+/// ≈1x or below; see EXPERIMENTS.md).
+fn thread_sweep() {
+    banner("Block-parallel execution — thread sweep (BENCH_parallel.json)");
+    let (n, levels, warmup, steps) = (48usize, 2u32, 1usize, 6usize);
+    let counts = [1usize, 2, 4, 8];
+    let host_cores = std::thread::available_parallelism().map_or(0, |c| c.get());
+    let results: Vec<ThreadSweepResult> = counts
+        .iter()
+        .map(|&t| thread_sweep_case(n, levels, t, warmup, steps))
+        .collect();
+    let digests_match = results.windows(2).all(|w| w[0].digest == w[1].digest);
+    let base_wall = results[0].case.wall.as_secs_f64();
+    println!(
+        "\ncavity n={n} L={levels}, {steps} steps, host cores: {host_cores}"
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>7} {:>18}",
+        "threads", "wall s", "speedup vs 1", "MLUPS", "staged", "digest"
+    );
+    for r in &results {
+        println!(
+            "{:>7} {:>10.4} {:>12.2} {:>12.2} {:>7} {:>18}",
+            r.threads,
+            r.case.wall.as_secs_f64(),
+            base_wall / r.case.wall.as_secs_f64(),
+            r.case.measured_mlups,
+            r.staged,
+            r.digest
+        );
+    }
+    println!(
+        "digest gate: {}",
+        if digests_match { "OK (bit-identical at every thread count)" } else { "MISMATCH" }
+    );
+    if host_cores <= 1 {
+        println!("note: single-core host — parallel speedup is not observable here.");
+    }
+    let case_objs: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let ptb: Vec<String> = r.per_thread_bytes.iter().map(u64::to_string).collect();
+            format!(
+                "    {{ \"threads\": {}, \"wall_s\": {:.6}, \"speedup_vs_1\": {:.4}, \
+                 \"measured_mlups\": {:.3}, \"modeled_mlups\": {:.3}, \"staged\": {}, \
+                 \"digest\": \"{}\", \"per_thread_bytes\": [{}] }}",
+                r.threads,
+                r.case.wall.as_secs_f64(),
+                base_wall / r.case.wall.as_secs_f64(),
+                r.case.measured_mlups,
+                r.case.modeled_mlups,
+                r.staged,
+                r.digest,
+                ptb.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"thread_sweep\",\n  \"device_model\": \"a100_40gb\",\n  \
+         \"n\": {n}, \"levels\": {levels}, \"steps\": {steps},\n  \
+         \"host_cores\": {host_cores},\n  \"digests_match\": {digests_match},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        case_objs.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json).unwrap();
+    println!("\nwrote BENCH_parallel.json (digests match: {digests_match})");
 }
 
 /// Fig. 1 / §VI-B: airplane-tunnel capacity claim.

@@ -89,10 +89,16 @@ where
 }
 
 /// Runs the flow-over-sphere workload (Table I / Fig. 9) for one size and
-/// variant. Uses the paper's KBC/D3Q27 configuration.
+/// variant. Uses the paper's KBC/D3Q27 configuration. The Accumulate path
+/// is pinned to the paper's atomic scatter so the modeled Table I / Fig. 9
+/// shapes don't shift with the host pool width (`LBM_THREADS`) — the
+/// staged split is a host-determinism device, not part of the modeled
+/// GPU algorithm (DESIGN.md §10).
 pub fn sphere_case(size: [usize; 3], variant: Variant, warmup: usize, steps: usize) -> CaseResult {
     let flow = SphereFlow::new(SphereConfig::for_size(size));
-    let mut eng = flow.engine(variant, Executor::new(DeviceModel::a100_40gb()));
+    let mut eng = flow.engine_with(variant, Executor::new(DeviceModel::a100_40gb()), |b| {
+        b.staged_accumulate(false)
+    });
     time_engine(
         format!(
             "sphere {}x{}x{} {}",
@@ -302,6 +308,64 @@ pub fn layout_case<V: lbm_lattice::VelocitySet>(
         steps,
     );
     (case, grid_digest(&eng.grid))
+}
+
+/// One thread count's record of the determinism thread sweep
+/// (`report -- thread-sweep`).
+#[derive(Clone, Debug)]
+pub struct ThreadSweepResult {
+    /// Kernel-pool width the engine ran with.
+    pub threads: usize,
+    /// Timing record of the timed steps.
+    pub case: CaseResult,
+    /// [`grid_digest`] of the final state — must be bit-identical across
+    /// every thread count (the determinism pin of DESIGN.md §10).
+    pub digest: String,
+    /// Modeled bytes attributed to each pool thread over the timed steps
+    /// (work-balance observability; empty at one thread).
+    pub per_thread_bytes: Vec<u64>,
+    /// Whether the engine ran the staged deterministic Accumulate path
+    /// (default: iff `threads > 1`).
+    pub staged: bool,
+}
+
+/// Runs the refined cavity on a kernel pool of `threads` threads and
+/// digests the final state. The engine picks the staged Accumulate path
+/// automatically for `threads > 1`; because the staged merge replays the
+/// serial scatter order exactly, the digest must not depend on `threads`.
+pub fn thread_sweep_case(
+    n: usize,
+    levels: u32,
+    threads: usize,
+    warmup: usize,
+    steps: usize,
+) -> ThreadSweepResult {
+    let cavity = Cavity::new(CavityConfig {
+        n_finest: n,
+        levels,
+        wall_band: if levels == 1 { 0 } else { 4 },
+        quasi_2d: true,
+        depth: 8,
+        ..CavityConfig::default()
+    });
+    let mut eng = cavity.engine_with(
+        Variant::FusedAll,
+        Executor::new(DeviceModel::a100_40gb()),
+        |b| b.threads(threads),
+    );
+    let case = time_engine(
+        format!("cavity n={n} L={levels} threads={threads}"),
+        &mut eng,
+        warmup,
+        steps,
+    );
+    ThreadSweepResult {
+        threads,
+        digest: grid_digest(&eng.grid),
+        per_thread_bytes: eng.exec.profiler().thread_bytes(),
+        staged: eng.staged_accumulate(),
+        case,
+    }
 }
 
 /// Observability record of one traced run: what the scheduler planned and

@@ -39,7 +39,7 @@ use lbm_sparse::{Field, HalfReadGuard, Layout, LayoutRuns, SparseGrid, SplitHalv
 use crate::flags::BlockFlags;
 use crate::graphs;
 use crate::kernels::{self, InteriorPath, StreamInputs, StreamOptions};
-use crate::level::GatherEntry;
+use crate::level::{AccStage, GatherEntry};
 use crate::links::{BlockLinks, LinkKind};
 use crate::multigrid::MultiGrid;
 use crate::program::{self, LevelTopo, OpKind, StepOp};
@@ -58,6 +58,7 @@ mod names {
     pub const CASE: [&str; 8] = [
         "CASE0", "CASE1", "CASE2", "CASE3", "CASE4", "CASE5", "CASE6", "CASE7",
     ];
+    pub const M: [&str; 8] = ["M0", "M1", "M2", "M3", "M4", "M5", "M6", "M7"];
     pub const R: [&str; 8] = ["R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7"];
 }
 
@@ -99,6 +100,11 @@ pub struct Engine<T: Real, V: VelocitySet, C> {
     time_interp: bool,
     interior_path: InteriorPath,
     exec_mode: ExecMode,
+    /// Whether the Accumulate scatter runs through the deterministic
+    /// staging-slab + ordered-merge path (DESIGN.md §10). Defaults to
+    /// `exec.thread_count() > 1` — the serial atomic scatter is only
+    /// order-deterministic on one thread.
+    staged: bool,
     /// Cached wave schedule, keyed by the (variant, time_interp) it was
     /// built for. The wave partition is invariant under buffer parity, so
     /// one schedule serves every step.
@@ -116,6 +122,8 @@ pub struct EngineBuilder<T: Real, V: VelocitySet> {
     time_interp: bool,
     exec_mode: ExecMode,
     layout: Layout,
+    threads: Option<usize>,
+    staged: Option<bool>,
 }
 
 /// [`EngineBuilder`] with the collision operator chosen; finish with
@@ -140,6 +148,8 @@ impl<T: Real, V: VelocitySet> Engine<T, V, ()> {
             time_interp: false,
             exec_mode: ExecMode::Eager,
             layout,
+            threads: None,
+            staged: None,
         }
     }
 }
@@ -183,6 +193,22 @@ impl<T: Real, V: VelocitySet> EngineBuilder<T, V> {
         self
     }
 
+    /// Sets the kernel-execution thread count: at build time the executor
+    /// is re-targeted to a pool of `n` threads (sharing its profiler).
+    /// Without this the executor's own width is kept.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Overrides the Accumulate path: `true` forces the deterministic
+    /// staging-slab + ordered-merge split, `false` forces the serial atomic
+    /// scatter. Default: staged iff the executor runs more than one thread.
+    pub fn staged_accumulate(mut self, on: bool) -> Self {
+        self.staged = Some(on);
+        self
+    }
+
     /// Chooses the collision model. Each level gets an instance rebuilt
     /// with its own ω (paper Eq. 9 — the grid carries per-level rates from
     /// `omega0`).
@@ -223,12 +249,31 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> EngineBuilderWithOp<T, V, C> {
         self
     }
 
+    /// Sets the kernel-execution thread count (see
+    /// [`EngineBuilder::threads`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.base.threads = Some(n);
+        self
+    }
+
+    /// Overrides the Accumulate path (see
+    /// [`EngineBuilder::staged_accumulate`]).
+    pub fn staged_accumulate(mut self, on: bool) -> Self {
+        self.base.staged = Some(on);
+        self
+    }
+
     /// Assembles the engine on the given executor.
     pub fn build(self, exec: Executor) -> Engine<T, V, C> {
         let mut b = self.base;
         if b.layout != b.grid.layout() {
             b.grid.set_layout(b.layout);
         }
+        let exec = match b.threads {
+            Some(n) => exec.with_thread_count(n),
+            None => exec,
+        };
+        let staged = b.staged.unwrap_or(exec.thread_count() > 1);
         Engine::assemble(
             b.grid,
             self.op,
@@ -237,11 +282,13 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> EngineBuilderWithOp<T, V, C> {
             b.interior_path,
             b.time_interp,
             b.exec_mode,
+            staged,
         )
     }
 }
 
 impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         grid: MultiGrid<T, V>,
         base_op: C,
@@ -250,6 +297,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         interior_path: InteriorPath,
         time_interp: bool,
         exec_mode: ExecMode,
+        staged: bool,
     ) -> Self {
         let ops = grid
             .levels
@@ -281,8 +329,19 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             time_interp,
             interior_path,
             exec_mode,
+            staged,
             plan: None,
         }
+    }
+
+    /// Whether the deterministic staged Accumulate path is active.
+    pub fn staged_accumulate(&self) -> bool {
+        self.staged
+    }
+
+    /// The executor's kernel-execution thread count.
+    pub fn thread_count(&self) -> usize {
+        self.exec.thread_count()
     }
 
     /// The currently selected interior fast path.
@@ -352,7 +411,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             .iter()
             .map(|lv| lv.f.parity() as u8)
             .collect();
-        program::step_ops(&self.topology(), self.variant, &halves)
+        program::step_ops(&self.topology(), self.variant, &halves, self.staged)
     }
 
     /// The dependency graph and wave schedule of the next coarse step —
@@ -366,7 +425,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             .iter()
             .map(|lv| lv.f.parity() as u8)
             .collect();
-        let g = graphs::step_graph_for(&topo, self.variant, &halves, self.time_interp);
+        let g = graphs::step_graph_for(&topo, self.variant, &halves, self.time_interp, self.staged);
         let s = Schedule::from_graph(&g);
         (g, s)
     }
@@ -409,6 +468,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
                 gather: &lv.gather,
                 acc_target: &lv.acc_target,
                 acc_dirs: &lv.acc_dirs,
+                stage: lv.stage.as_ref(),
                 halves: lv.f.split_mut(),
                 real: lv.real_cells as u64,
                 ghost: lv.ghost_cells as u64,
@@ -421,13 +481,14 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         let coll = &self.ops;
         let ti = self.time_interp;
         let ip = self.interior_path;
+        let st = self.staged;
         match self.exec_mode {
             ExecMode::Eager => {
                 for (i, op) in ops.iter().enumerate() {
                     if i > 0 {
                         exec.sync();
                     }
-                    run_op::<T, V, C>(exec, &ctx, coll, op, ti, ip);
+                    run_op::<T, V, C>(exec, &ctx, coll, op, ti, ip, st);
                 }
             }
             ExecMode::Graph => {
@@ -437,17 +498,24 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
                         exec.sync();
                     }
                     exec.begin_wave();
-                    if exec.is_parallel() && wave.len() > 1 {
-                        // One thread per virtual stream; the scope join is
-                        // the wave barrier.
+                    // A wave's nodes are mutually independent; dispatch them
+                    // on at most `thread_count` virtual streams (one OS
+                    // thread per stream; the scope join is the wave
+                    // barrier). Each stream walks its nodes in ascending
+                    // node order, so any stream width replays the same
+                    // per-kernel launch order.
+                    let groups = schedule.stream_partition(w, exec.thread_count());
+                    if exec.is_parallel() && groups.len() > 1 {
                         std::thread::scope(|scope| {
-                            for (stream, &ni) in wave.iter().enumerate() {
-                                let op = &ops[ni];
+                            for (stream, group) in groups.iter().enumerate() {
                                 let ctx = &ctx;
+                                let ops = &ops;
                                 scope.spawn(move || {
-                                    with_span_context(w as u32, stream as u32, || {
-                                        run_op::<T, V, C>(exec, ctx, coll, op, ti, ip)
-                                    })
+                                    for &ni in group {
+                                        with_span_context(w as u32, stream as u32, || {
+                                            run_op::<T, V, C>(exec, ctx, coll, &ops[ni], ti, ip, st)
+                                        });
+                                    }
                                 });
                             }
                         });
@@ -456,7 +524,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
                         // program order (deterministic replay).
                         for (stream, &ni) in wave.iter().enumerate() {
                             with_span_context(w as u32, stream as u32, || {
-                                run_op::<T, V, C>(exec, &ctx, coll, &ops[ni], ti, ip)
+                                run_op::<T, V, C>(exec, &ctx, coll, &ops[ni], ti, ip, st)
                             });
                         }
                     }
@@ -515,6 +583,7 @@ struct LevelCtx<'a, T> {
     gather: &'a [Vec<GatherEntry>],
     acc_target: &'a [Option<Box<[u64]>>],
     acc_dirs: &'a [Option<Box<[u32]>>],
+    stage: Option<&'a AccStage>,
     halves: SplitHalves<'a, T>,
     real: u64,
     ghost: u64,
@@ -523,6 +592,7 @@ struct LevelCtx<'a, T> {
 }
 
 /// Executes one launch record of the step program.
+#[allow(clippy::too_many_arguments)]
 fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
     exec: &Executor,
     ctx: &[LevelCtx<'_, T>],
@@ -530,6 +600,7 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
     op: &StepOp,
     time_interp: bool,
     interior_path: InteriorPath,
+    staged: bool,
 ) {
     let l = op.level;
     let lv = &ctx[l];
@@ -546,8 +617,19 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
     let blend = if time_interp && op.phase == 1 { 0.5 } else { 0.0 };
     let accum = coarse.and_then(|c| {
         if c.ghost > 0 {
+            let sink = match (staged, lv.stage) {
+                // Deterministic parallel path: plain stores into the
+                // level's private slab; the AccMerge op folds it later.
+                (true, Some(st)) => kernels::AccSink::Staged {
+                    slab: &st.slab,
+                    dense: st.owners.dense(),
+                },
+                // Serial reference path: atomic scatter straight into the
+                // coarse accumulators.
+                _ => kernels::AccSink::Atomic(c.acc),
+            };
             Some(kernels::AccTables {
-                acc: c.acc,
+                sink,
                 targets: lv.acc_target,
                 dirs: lv.acc_dirs,
             })
@@ -658,6 +740,13 @@ fn run_op<T: Real, V: VelocitySet, C: Collision<T, V>>(
                 if accumulate { accum } else { None },
                 lv.real,
             );
+        }
+        OpKind::AccMerge => {
+            // Skip when the level has no accumulating cells (then the
+            // scatter deposited nothing and there is no slab).
+            if let (Some(c), Some(st)) = (coarse, lv.stage) {
+                kernels::accumulate_merge(exec, names::M[l], st, c.acc);
+            }
         }
         OpKind::Reset => {
             kernels::reset_accumulators(

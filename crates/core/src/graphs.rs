@@ -100,21 +100,24 @@ pub fn alg1_graph(levels: u32) -> TaskGraph {
 pub fn step_graph(levels: u32, variant: Variant) -> TaskGraph {
     assert!(levels >= 1);
     let topo = program::generic_topology(levels);
-    step_graph_for(&topo, variant, &vec![0u8; levels as usize], false)
+    step_graph_for(&topo, variant, &vec![0u8; levels as usize], false, false)
 }
 
 /// Graph of one coarse step for an arbitrary level topology and starting
-/// buffer parities (see [`crate::program::step_ops`]).
+/// buffer parities (see [`crate::program::step_ops`]). `staged` renders the
+/// deterministic scatter+merge Accumulate split instead of the atomic
+/// scatter; the canonical Fig.-2 graphs pass `false`.
 pub fn step_graph_for(
     topo: &[LevelTopo],
     variant: Variant,
     start_halves: &[u8],
     time_interp: bool,
+    staged: bool,
 ) -> TaskGraph {
-    let ops = program::step_ops(topo, variant, start_halves);
+    let ops = program::step_ops(topo, variant, start_halves, staged);
     let mut g = TaskGraph::new();
     for op in &ops {
-        g.push(program::kernel_node(op, topo, time_interp));
+        g.push(program::kernel_node(op, topo, time_interp, staged));
     }
     g
 }
@@ -179,6 +182,19 @@ mod tests {
         let full = step_graph(3, Variant::FullyFused).kernel_count();
         let ours = step_graph(3, Variant::FusedAll).kernel_count();
         assert!(full <= ours);
+    }
+
+    #[test]
+    fn staged_graph_adds_merge_nodes_only() {
+        let topo = program::generic_topology(2);
+        let halves = [0u8, 0];
+        let serial = step_graph_for(&topo, Variant::FusedAll, &halves, false, false);
+        let staged = step_graph_for(&topo, Variant::FusedAll, &halves, false, true);
+        // Two fine substeps each gain one M node; the canonical count is
+        // untouched (pinned by `optimized_counts`).
+        assert_eq!(staged.kernel_count(), serial.kernel_count() + 2);
+        let dot = staged.to_dot("staged");
+        assert!(dot.contains("M1"));
     }
 
     #[test]

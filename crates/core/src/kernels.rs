@@ -133,13 +133,41 @@ impl<'a, T: Real> StreamInputs<'a, T> {
     }
 }
 
-/// Accumulate tables of a (fine) level: the next-coarser level's ghost
-/// accumulators plus the per-cell parent targets and crossing-direction
-/// masks computed at grid construction.
+/// Where the Accumulate scatter deposits a cell's crossing populations.
+///
+/// The two arms are the two halves of the determinism strategy (DESIGN.md
+/// §10): the serial reference path adds straight into the coarse ghost
+/// accumulators; the parallel path stores into a private per-fine-block
+/// staging slab whose contents [`accumulate_merge`] later folds into the
+/// same accumulators in a fixed order, making the float sum independent of
+/// which pool thread ran which block.
+#[derive(Copy, Clone)]
+pub enum AccSink<'a> {
+    /// CUDA-style `atomicAdd` directly into the coarse ghost accumulators.
+    /// Deterministic only under single-thread execution (program-order
+    /// arrival); this is the serial reference the staged path is pinned
+    /// against.
+    Atomic(&'a AtomicF64Field),
+    /// Plain stores into the fine level's staging slab, addressed by the
+    /// block's dense rank (`dense`, from
+    /// [`crate::level::AccStage::owners`]). No atomics: every `(block,
+    /// dir, cell)` slab slot has exactly one writer.
+    Staged {
+        /// The fine level's private staging slab.
+        slab: &'a AtomicF64Field,
+        /// Fine block → dense slab rank ([`lbm_sparse::NO_OWNER`] where
+        /// the block does not accumulate).
+        dense: &'a [u32],
+    },
+}
+
+/// Accumulate tables of a (fine) level: the scatter destination plus the
+/// per-cell parent targets and crossing-direction masks computed at grid
+/// construction.
 #[derive(Copy, Clone)]
 pub struct AccTables<'a> {
-    /// Coarse-level ghost accumulators (atomic add targets).
-    pub acc: &'a AtomicF64Field,
+    /// Scatter destination (serial atomic or staged slab).
+    pub sink: AccSink<'a>,
     /// Per-block, per-cell encoded parent [`lbm_sparse::CellRef`]s.
     pub targets: &'a [Option<Box<[u64]>>],
     /// Per-block, per-cell crossing-direction bitmasks.
@@ -147,8 +175,10 @@ pub struct AccTables<'a> {
 }
 
 impl AccTables<'_> {
-    /// Adds the crossing populations of one cell (read from `src`, the
-    /// pre-streaming post-collision buffer) into its parent ghost.
+    /// Deposits the crossing populations of one cell (read from `src`, the
+    /// pre-streaming post-collision buffer) toward its parent ghost —
+    /// directly ([`AccSink::Atomic`]) or via the staging slab
+    /// ([`AccSink::Staged`]).
     ///
     /// Timing matters: the populations that cross the interface during a
     /// fine substep are the post-collision values *being streamed*, i.e.
@@ -168,12 +198,24 @@ impl AccTables<'_> {
             return;
         }
         debug_assert_ne!(tt[cell as usize], NO_TARGET);
-        let parent = decode_ref(tt[cell as usize]);
-        while mask != 0 {
-            let i = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            self.acc
-                .add(parent.block, i, parent.cell, src.get(block, i, cell).to_f64());
+        match self.sink {
+            AccSink::Atomic(acc) => {
+                let parent = decode_ref(tt[cell as usize]);
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    acc.add(parent.block, i, parent.cell, src.get(block, i, cell).to_f64());
+                }
+            }
+            AccSink::Staged { slab, dense } => {
+                let sb = dense[block as usize];
+                debug_assert_ne!(sb, lbm_sparse::NO_OWNER, "staged scatter from unmapped block");
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    slab.store(sb, i, cell, src.get(block, i, cell).to_f64());
+                }
+            }
         }
     }
 }
@@ -631,6 +673,46 @@ pub fn accumulate_scatter<T: Real, V: VelocitySet>(
                 continue;
             }
             tables.scatter_from(src, b, cell);
+        }
+    });
+}
+
+/// Staged-Accumulate merge (label "M", the second half of the
+/// deterministic parallel Accumulate; DESIGN.md §10): folds the fine
+/// level's staging slab into the coarse ghost accumulators. One launch item
+/// owns one coarse block, so parallel items never share a destination; per
+/// slot the contributions are added in the plan's fixed serial order, so
+/// the resulting float sums are bit-identical to the serial atomic scatter
+/// for every thread count.
+///
+/// Reads **only** slots the staged scatter wrote this substep (the plan's
+/// predicate equals the scatter's), so no slab reset is needed between
+/// substeps — each deposit overwrites the previous one in place.
+pub fn accumulate_merge(
+    exec: &Executor,
+    name: &'static str,
+    stage: &crate::level::AccStage,
+    acc: &AtomicF64Field,
+) {
+    let slots = stage.slots.len() as u64;
+    let contribs = stage.contrib.len() as u64;
+    // Traffic: per destination slot, one accumulator load + store, plus one
+    // slab load per contribution. No lattice cells processed (the scatter
+    // already counted them) and no atomics — that is the point.
+    let cost = LaunchCost {
+        cells: 0,
+        bytes_read: (slots + contribs) * 8,
+        bytes_written: slots * 8,
+        ..LaunchCost::default()
+    };
+    exec.launch(name, stage.blocks.len(), cost, |b| {
+        let bp = &stage.blocks[b as usize];
+        for s in &stage.slots[bp.slots.0 as usize..bp.slots.1 as usize] {
+            let mut v = acc.load(bp.coarse_block, s.dir as usize, s.cell);
+            for &ci in &stage.contrib[s.start as usize..(s.start + s.len) as usize] {
+                v += stage.slab.load_flat(ci as usize);
+            }
+            acc.store(bp.coarse_block, s.dir as usize, s.cell, v);
         }
     });
 }

@@ -21,12 +21,14 @@ use std::marker::PhantomData;
 
 use lbm_gpu::AtomicF64Field;
 use lbm_lattice::{equilibrium, moments, omega_at_level, Real, VelocitySet, MAX_Q};
-use lbm_sparse::{Coord, DoubleBuffer, Field, GridBuilder, Layout, SparseGrid, StreamOffsets};
+use lbm_sparse::{
+    Coord, DoubleBuffer, Field, GridBuilder, Layout, OwnerMap, SparseGrid, StreamOffsets,
+};
 
 use crate::boundary::{Boundary, BoundarySpec};
 use crate::flags::{BlockFlags, CellFlags};
-use crate::level::{GatherEntry, Level};
-use crate::links::{encode_ref, BlockLinks, Link, LinkKind, NO_TARGET};
+use crate::level::{AccStage, GatherEntry, Level, MergeBlockPlan, MergeSlotPlan};
+use crate::links::{decode_ref, encode_ref, BlockLinks, Link, LinkKind, NO_TARGET};
 use crate::spec::GridSpec;
 
 /// The multi-resolution grid: a stack of levels, finest last.
@@ -331,6 +333,7 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
 
             let f = DoubleBuffer::<T>::new(grid, V::Q, T::ZERO);
             let acc = AtomicF64Field::new(grid.num_blocks(), V::Q, cpb);
+            let stage = Self::acc_stage_plan(grid, fl, &acc_target, &acc_dirs, cpb);
             levels.push(Level {
                 grid: grids[l as usize].clone(),
                 flags: flags[l as usize].clone(),
@@ -343,6 +346,7 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
                 runs,
                 f,
                 acc,
+                stage,
                 omega: omega_at_level(omega0, l),
                 real_cells,
                 ghost_cells,
@@ -354,6 +358,90 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
             spec,
             _lattice: PhantomData,
         }
+    }
+
+    /// Builds the staged-Accumulate plan for one fine level (see
+    /// [`Level::stage`] and DESIGN.md §10): selects the accumulating blocks,
+    /// sizes their private staging slab, and lays out the per-coarse-block
+    /// merge with each slot's contributions in the exact order the serial
+    /// atomic scatter adds them — fine block ascending, cell ascending,
+    /// direction bit ascending — so the staged fold is bit-identical to the
+    /// serial reference for every thread count. The cell predicate below
+    /// replicates the scatter kernel's exactly (active ∧ real ∧ accumulates
+    /// ∧ nonzero direction mask): a slot the scatter never writes must not
+    /// be read by the merge, or stale slab contents would leak in.
+    fn acc_stage_plan(
+        grid: &SparseGrid,
+        fl: &Field<u8>,
+        acc_target: &[Option<Box<[u64]>>],
+        acc_dirs: &[Option<Box<[u32]>>],
+        cpb: usize,
+    ) -> Option<AccStage> {
+        let owners = OwnerMap::build(grid.num_blocks(), |b| acc_target[b].is_some());
+        if owners.is_empty() {
+            return None;
+        }
+        let slab = AtomicF64Field::new(owners.len(), V::Q, cpb);
+        // (coarse block, dir, coarse cell) → contribution slab addresses,
+        // appended in serial scatter order.
+        let mut by_slot: std::collections::BTreeMap<(u32, u8, u32), Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for &b in owners.owners() {
+            let tgt = acc_target[b as usize].as_deref().unwrap();
+            let dirs = acc_dirs[b as usize].as_deref().unwrap();
+            let dense = owners.dense_of(b).unwrap();
+            let blk = &grid.blocks()[b as usize];
+            for cell in 0..cpb as u32 {
+                if !blk.active.get(cell as usize) {
+                    continue;
+                }
+                let cf = CellFlags(fl.get(b, 0, cell));
+                if !cf.is_real() || !cf.accumulates() {
+                    continue;
+                }
+                let mut mask = dirs[cell as usize];
+                if mask == 0 || tgt[cell as usize] == NO_TARGET {
+                    continue;
+                }
+                let parent = decode_ref(tgt[cell as usize]);
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    by_slot
+                        .entry((parent.block, i as u8, parent.cell))
+                        .or_default()
+                        .push(slab.flat_index(dense, i, cell) as u32);
+                }
+            }
+        }
+        let mut blocks: Vec<MergeBlockPlan> = Vec::new();
+        let mut slots: Vec<MergeSlotPlan> = Vec::new();
+        let mut contrib: Vec<u32> = Vec::new();
+        for ((cb, dir, cell), list) in by_slot {
+            let start = contrib.len() as u32;
+            contrib.extend_from_slice(&list);
+            let si = slots.len() as u32;
+            match blocks.last_mut() {
+                Some(bp) if bp.coarse_block == cb => bp.slots.1 = si + 1,
+                _ => blocks.push(MergeBlockPlan {
+                    coarse_block: cb,
+                    slots: (si, si + 1),
+                }),
+            }
+            slots.push(MergeSlotPlan {
+                dir,
+                cell,
+                start,
+                len: list.len() as u32,
+            });
+        }
+        Some(AccStage {
+            owners,
+            slab,
+            blocks,
+            slots,
+            contrib,
+        })
     }
 
     /// The intra-block memory layout of the population buffers (uniform

@@ -73,6 +73,10 @@ pub enum OpKind {
         /// Atomic Accumulate scatter fused in.
         accumulate: bool,
     },
+    /// Ordered merge of the staged Accumulate slab into the coarse
+    /// accumulators (deterministic parallel path; see DESIGN.md §10). Runs
+    /// on the fine level, one launch item per destination coarse block.
+    AccMerge,
     /// Accumulator reset after Coalescence consumed the charge.
     Reset,
 }
@@ -102,16 +106,21 @@ pub struct StepOp {
 /// `start_halves[l]` is the source half of level `l`'s double buffer when
 /// the step begins (`DoubleBuffer::parity`). After the program runs, level
 /// 0 has net-swapped once and deeper levels an even number of times.
+/// When `staged` is set, every atomic-scatter Accumulate is split into a
+/// plain-store scatter plus an ordered [`OpKind::AccMerge`] — the
+/// deterministic parallel path (DESIGN.md §10). The canonical Fig.-2 graphs
+/// pass `false`, keeping the paper's pinned kernel counts.
 pub fn step_ops(
     topo: &[LevelTopo],
     variant: Variant,
     start_halves: &[u8],
+    staged: bool,
 ) -> Vec<StepOp> {
     assert!(!topo.is_empty());
     assert_eq!(topo.len(), start_halves.len());
     let mut flip: Vec<u8> = start_halves.to_vec();
     let mut ops = Vec::new();
-    rec(&mut ops, topo, variant, &mut flip, 0, 0);
+    rec(&mut ops, topo, variant, &mut flip, 0, 0, staged);
     ops
 }
 
@@ -122,11 +131,12 @@ fn rec(
     flip: &mut [u8],
     l: usize,
     phase: u8,
+    staged: bool,
 ) {
     if l + 1 < topo.len() {
         // Δt_{L+1} = Δt_L / 2: two fine substeps before this level streams.
-        rec(ops, topo, variant, flip, l + 1, 0);
-        rec(ops, topo, variant, flip, l + 1, 1);
+        rec(ops, topo, variant, flip, l + 1, 0, staged);
+        rec(ops, topo, variant, flip, l + 1, 1, staged);
     }
     let cfg = variant.config();
     let t = topo[l];
@@ -144,15 +154,22 @@ fn rec(
         ops.push(mk(OpKind::Fused {
             accumulate: t.coarse_ghosts,
         }));
+        if staged && t.coarse_ghosts {
+            ops.push(mk(OpKind::AccMerge));
+        }
     } else {
         if !cfg.collide_accumulate && t.coarse_ghosts {
             ops.push(mk(OpKind::AccGather));
         }
+        let scatter = cfg.collide_accumulate && t.coarse_ghosts;
         ops.push(mk(OpKind::Stream {
             explosion: cfg.stream_explosion,
             coalesce: cfg.stream_coalesce,
-            accumulate: cfg.collide_accumulate && t.coarse_ghosts,
+            accumulate: scatter,
         }));
+        if staged && scatter {
+            ops.push(mk(OpKind::AccMerge));
+        }
         if !cfg.stream_explosion && t.explodes {
             ops.push(mk(OpKind::Explosion));
         }
@@ -178,16 +195,26 @@ pub fn acc_id(level: usize, n_levels: usize) -> FieldId {
     FieldId(2 * n_levels + level)
 }
 
+/// Field id of level `l`'s private Accumulate staging slab (deterministic
+/// parallel path; disjoint from both buffer and accumulator ids).
+pub fn stage_id(level: usize, n_levels: usize) -> FieldId {
+    FieldId(3 * n_levels + level)
+}
+
 /// Renders one [`StepOp`] as a [`KernelNode`] with its declared accesses —
 /// the labels match the paper's Fig.-2/Fig.-4 nomenclature (`S`/`SE`/`SO`/
 /// `SEO`, `E`, `O`, `C`, `A`, `CASE`, `R`).
 ///
 /// `time_interp` adds the coarser level's *previous* state to the reads of
 /// explosion-resolving kernels (the linear-interpolation extension).
+/// `staged` must match the flag given to [`step_ops`]: it reroutes the
+/// Accumulate scatter from an atomic update of the coarse accumulators to a
+/// plain write of the level's staging slab (consumed by the `M` merge node).
 pub fn kernel_node(
     op: &StepOp,
     topo: &[LevelTopo],
     time_interp: bool,
+    staged: bool,
 ) -> KernelNode {
     let n = topo.len();
     let l = op.level;
@@ -224,8 +251,16 @@ pub fn kernel_node(
                 reads.push(acc_id(l, n));
             }
             label.push_str(&l.to_string());
-            let atomics = if accumulate { vec![coarse_acc()] } else { vec![] };
-            (label, reads, vec![dst], atomics)
+            let mut writes = vec![dst];
+            let atomics = match (accumulate, staged) {
+                (true, false) => vec![coarse_acc()],
+                (true, true) => {
+                    writes.push(stage_id(l, n));
+                    vec![]
+                }
+                (false, _) => vec![],
+            };
+            (label, reads, writes, atomics)
         }
         OpKind::Explosion => {
             let mut reads = vec![coarse_src()];
@@ -252,9 +287,23 @@ pub fn kernel_node(
             if t.coalesces {
                 reads.push(acc_id(l, n));
             }
-            let atomics = if accumulate { vec![coarse_acc()] } else { vec![] };
-            (format!("CASE{l}"), reads, vec![dst], atomics)
+            let mut writes = vec![dst];
+            let atomics = match (accumulate, staged) {
+                (true, false) => vec![coarse_acc()],
+                (true, true) => {
+                    writes.push(stage_id(l, n));
+                    vec![]
+                }
+                (false, _) => vec![],
+            };
+            (format!("CASE{l}"), reads, writes, atomics)
         }
+        OpKind::AccMerge => (
+            format!("M{l}"),
+            vec![stage_id(l, n), coarse_acc()],
+            vec![coarse_acc()],
+            vec![],
+        ),
         OpKind::Reset => (format!("R{l}"), vec![], vec![acc_id(l, n)], vec![]),
     };
     KernelNode {
@@ -274,7 +323,7 @@ mod tests {
     #[test]
     fn parities_net_out() {
         let topo = generic_topology(3);
-        let ops = step_ops(&topo, Variant::FusedAll, &[0, 0, 0]);
+        let ops = step_ops(&topo, Variant::FusedAll, &[0, 0, 0], false);
         // Level 2 runs 4 substeps, level 1 runs 2, level 0 runs 1:
         // src halves alternate within the step starting from the given
         // parity.
@@ -289,7 +338,7 @@ mod tests {
     #[test]
     fn coarse_half_tracks_enclosing_level() {
         let topo = generic_topology(2);
-        let ops = step_ops(&topo, Variant::ModifiedBaseline, &[1, 0]);
+        let ops = step_ops(&topo, Variant::ModifiedBaseline, &[1, 0], false);
         // Level 0 never swaps mid-step: every fine op sees coarse half 1.
         assert!(ops
             .iter()
@@ -307,7 +356,7 @@ mod tests {
     #[test]
     fn baseline_emits_gather_accumulate_before_stream() {
         let topo = generic_topology(2);
-        let ops = step_ops(&topo, Variant::ModifiedBaseline, &[0, 0]);
+        let ops = step_ops(&topo, Variant::ModifiedBaseline, &[0, 0], false);
         let fine: Vec<OpKind> = ops
             .iter()
             .filter(|o| o.level == 1)
@@ -339,22 +388,53 @@ mod tests {
     #[test]
     fn labels_resolve_against_topology() {
         let topo = generic_topology(2);
-        let ops = step_ops(&topo, Variant::FusedAll, &[0, 0]);
+        let ops = step_ops(&topo, Variant::FusedAll, &[0, 0], false);
         let labels: Vec<String> = ops
             .iter()
-            .map(|o| kernel_node(o, &topo, false).label)
+            .map(|o| kernel_node(o, &topo, false, false).label)
             .collect();
         // Level 0 has no explosion interface, so its inline stream is S+O.
         assert_eq!(labels, vec!["CASE1", "CASE1", "SO0", "C0", "R0"]);
     }
 
     #[test]
+    fn staged_program_splits_accumulate_into_scatter_plus_merge() {
+        let topo = generic_topology(2);
+        let serial = step_ops(&topo, Variant::FusedAll, &[0, 0], false);
+        let staged = step_ops(&topo, Variant::FusedAll, &[0, 0], true);
+        // One AccMerge per accumulate-carrying fused op; nothing else moves.
+        let merges: Vec<&StepOp> = staged
+            .iter()
+            .filter(|o| o.kind == OpKind::AccMerge)
+            .collect();
+        assert_eq!(merges.len(), 2);
+        assert!(merges.iter().all(|o| o.level == 1));
+        let without: Vec<StepOp> = staged
+            .iter()
+            .filter(|o| o.kind != OpKind::AccMerge)
+            .copied()
+            .collect();
+        assert_eq!(without, serial);
+        // Staged scatter writes the slab instead of atomically updating the
+        // coarse accumulators; the merge node carries that dependency.
+        let fused = staged.iter().find(|o| o.level == 1).unwrap();
+        let node = kernel_node(fused, &topo, false, true);
+        assert!(node.atomics.is_empty());
+        assert!(node.writes.contains(&stage_id(1, 2)));
+        let merge = kernel_node(merges[0], &topo, false, true);
+        assert_eq!(merge.label, "M1");
+        assert!(merge.reads.contains(&stage_id(1, 2)));
+        assert!(merge.reads.contains(&acc_id(0, 2)));
+        assert_eq!(merge.writes, vec![acc_id(0, 2)]);
+    }
+
+    #[test]
     fn time_interp_adds_prev_coarse_read() {
         let topo = generic_topology(2);
-        let ops = step_ops(&topo, Variant::FusedAll, &[0, 0]);
+        let ops = step_ops(&topo, Variant::FusedAll, &[0, 0], false);
         let fused = ops.iter().find(|o| o.level == 1).unwrap();
-        let plain = kernel_node(fused, &topo, false);
-        let interp = kernel_node(fused, &topo, true);
+        let plain = kernel_node(fused, &topo, false, false);
+        let interp = kernel_node(fused, &topo, true, false);
         assert_eq!(interp.reads.len(), plain.reads.len() + 1);
         assert!(interp.reads.contains(&buf_id(0, 1)));
     }

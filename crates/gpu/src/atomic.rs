@@ -6,6 +6,17 @@
 //! every ghost cell will be written by a maximum of 8 other fine cells").
 //! CUDA provides `atomicAdd(double*)`; on the CPU we emulate it with a
 //! compare-exchange loop over the bit pattern.
+//!
+//! **Path gating.** The CAS accumulator ([`AtomicF64Field::fetch_add`]) is
+//! the *serial-path* scatter primitive: with one executor thread the adds
+//! arrive in the fixed block/cell/direction program order, so the result is
+//! deterministic. A multi-thread pool makes the arrival order — and hence
+//! the float sum — a race, exactly like real GPU `atomicAdd`. Parallel
+//! engines therefore route Accumulate through the staged-slab + ordered
+//! merge path in `lbm_core` (which uses only [`AtomicF64Field::store`] /
+//! [`AtomicF64Field::load_flat`] on this type), and the engine keeps both
+//! paths wired: serial scatter stays the reference the staged path is
+//! pinned against.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -125,6 +136,22 @@ impl AtomicF64Field {
         self.data[self.idx(block, comp, cell)].store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Flat element index of `(block, comp, cell)` — the inverse is stable
+    /// because the indexing is fixed component-major (see the type docs).
+    /// Used by the staged Accumulate merge to precompute contribution
+    /// addresses into a slab.
+    #[inline(always)]
+    pub fn flat_index(&self, block: u32, comp: usize, cell: u32) -> usize {
+        self.idx(block, comp, cell)
+    }
+
+    /// Non-atomic read by flat element index (valid once writers have been
+    /// joined; see [`Self::flat_index`]).
+    #[inline(always)]
+    pub fn load_flat(&self, i: usize) -> f64 {
+        f64::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
     /// Resets every slot to zero.
     pub fn reset(&self) {
         let zero = 0f64.to_bits();
@@ -234,6 +261,21 @@ mod tests {
                 for i in 0..8u32 {
                     assert_eq!(f.load(b, c, i), expect);
                     expect += 1.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_indexing_round_trips() {
+        let f = AtomicF64Field::new(3, 2, 8);
+        for b in 0..3u32 {
+            for c in 0..2 {
+                for i in 0..8u32 {
+                    f.store(b, c, i, (b as f64) * 100.0 + (c as f64) * 10.0 + i as f64);
+                    let flat = f.flat_index(b, c, i);
+                    assert!(flat < f.len());
+                    assert_eq!(f.load_flat(flat), f.load(b, c, i));
                 }
             }
         }

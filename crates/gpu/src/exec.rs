@@ -3,8 +3,8 @@
 //! A *kernel launch* maps one sparse-grid block to one "CUDA block"
 //! (paper §V-A: "a block is assigned to one CUDA block and every CUDA thread
 //! is assigned to a cell within the given block"). Here each grid block is a
-//! rayon work item; the per-cell loop inside the closure plays the role of
-//! the thread block.
+//! work item claimed chunk-wise from a persistent in-crate [`ThreadPool`];
+//! the per-cell loop inside the closure plays the role of the thread block.
 //!
 //! Two launch shapes cover every LBM kernel:
 //! - [`Executor::launch`] — the closure only needs shared access
@@ -14,31 +14,333 @@
 //!
 //! Every launch records its declared [`LaunchCost`] plus measured wall time
 //! with the shared [`Profiler`], so benches can report measured and modeled
-//! performance from the same run.
+//! performance from the same run. With more than one pool thread the
+//! profiler additionally receives per-thread traffic shares
+//! ([`Profiler::thread_bytes`]), the CPU analogue of per-SM occupancy
+//! counters.
+//!
+//! ## Determinism contract
+//!
+//! The pool only changes *which thread* executes a block, never what the
+//! block computes. Kernels whose blocks write disjoint state (all gather
+//! kernels under the `split_mut()` guard API) are therefore bit-identical
+//! for every thread count by construction. The one scatter kernel in the
+//! method — the fine→coarse Accumulate — must instead go through the staged
+//! slab + ordered-merge path (see `lbm_core`'s kernel docs) whenever the
+//! pool has more than one thread.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use rayon::prelude::*;
+use lbm_sparse::chunk_granularity;
 
 use crate::counters::{LaunchCost, Profiler};
 use crate::device::DeviceModel;
+
+/// Environment variable overriding the default pool width of
+/// [`Executor::new`].
+pub const THREADS_ENV: &str = "LBM_THREADS";
+
+// ---------------------------------------------------------------------------
+// Thread pool
+
+/// Type-erased pointer to a launch closure. The pool guarantees no thread
+/// dereferences it after the owning job's last block has completed, and the
+/// launching call blocks until then — which is what makes erasing the
+/// borrow lifetime sound.
+struct TaskRef(*const (dyn Fn(u32) + Sync));
+
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+impl TaskRef {
+    fn new(f: &(dyn Fn(u32) + Sync)) -> Self {
+        // Erase the borrow lifetime; see the struct docs for why this is
+        // sound. Fat-pointer layout is identical on both sides.
+        TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(u32) + Sync), &'static (dyn Fn(u32) + Sync)>(f)
+        })
+    }
+
+    /// # Safety
+    /// The owning job must not have completed (`done < n`).
+    unsafe fn call(&self, i: u32) {
+        (*self.0)(i)
+    }
+}
+
+/// One launch: `n` blocks claimed in `chunk`-sized ranges by whichever
+/// threads are free (the caller participates as thread 0).
+struct Job {
+    task: TaskRef,
+    n: u32,
+    chunk: u32,
+    /// Next unclaimed block index (claims are `fetch_add(chunk)`).
+    next: AtomicU32,
+    /// Completed block count; the job is finished when this reaches `n`.
+    done: AtomicU32,
+    finished: Mutex<bool>,
+    done_cv: Condvar,
+    /// Blocks executed per pool thread, for the profiler's balance counters.
+    per_thread: Vec<AtomicU64>,
+    /// First panic payload from any thread executing this job.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    /// Claims and runs chunks until the job is exhausted, crediting `tid`
+    /// with the blocks it executed. A panicking block aborts the job
+    /// (remaining blocks are skipped) but still completes the bookkeeping so
+    /// every thread unblocks; the payload is re-thrown by the caller.
+    fn run_chunks(&self, tid: usize) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                break;
+            }
+            let end = (start + self.chunk).min(self.n);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for i in start..end {
+                    // SAFETY: done < n while this chunk is outstanding.
+                    unsafe { self.task.call(i) };
+                }
+            }));
+            if let Err(payload) = r {
+                let mut p = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                p.get_or_insert(payload);
+                drop(p);
+                // Abort: stop further claims, and credit the blocks nobody
+                // will ever claim to the completion count so every waiter
+                // unblocks. Claims are contiguous, so the pre-swap counter
+                // is exactly the claimed prefix.
+                let prior = self.next.swap(self.n, Ordering::Relaxed).min(self.n);
+                self.mark_done(self.n - prior);
+            }
+            self.per_thread[tid].fetch_add((end - start) as u64, Ordering::Relaxed);
+            self.mark_done(end - start);
+        }
+    }
+
+    /// Advances the completion count; the last advance flags the job
+    /// finished and wakes the launching thread.
+    fn mark_done(&self, blocks: u32) {
+        if blocks > 0 && self.done.fetch_add(blocks, Ordering::AcqRel) + blocks == self.n {
+            let mut fin = self.finished.lock().unwrap_or_else(|e| e.into_inner());
+            *fin = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+}
+
+fn worker_loop(shared: Arc<PoolShared>, tid: usize) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Drop exhausted jobs off the front so the queue stays short.
+                while q
+                    .front()
+                    .is_some_and(|j| j.next.load(Ordering::Relaxed) >= j.n)
+                {
+                    q.pop_front();
+                }
+                if let Some(front) = q.front() {
+                    break front.clone();
+                }
+                q = shared.work.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.run_chunks(tid);
+    }
+}
+
+/// A persistent work-stealing pool executing kernel launches block-parallel.
+///
+/// `threads == 1` keeps no workers at all: launches run inline on the
+/// calling thread in ascending block order, which is the executor's
+/// deterministic serial reference behavior.
+pub struct ThreadPool {
+    threads: usize,
+    shared: Option<Arc<PoolShared>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads - 1` workers (the launching thread is the pool's
+    /// thread 0).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Self {
+                threads,
+                shared: None,
+                workers: Vec::new(),
+            };
+        }
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lbm-worker-{tid}"))
+                    .spawn(move || worker_loop(s, tid))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        Self {
+            threads,
+            shared: Some(shared),
+            workers,
+        }
+    }
+
+    /// Pool width including the launching thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` for every block index in `0..n`, blocking until all have
+    /// completed, and returns the number of blocks each pool thread
+    /// executed. Blocks are claimed in [`chunk_granularity`]-sized ranges;
+    /// with one thread this is a plain ascending loop.
+    pub fn run(&self, n: u32, f: &(dyn Fn(u32) + Sync)) -> Vec<u64> {
+        if n == 0 {
+            return vec![0; self.threads];
+        }
+        let Some(shared) = &self.shared else {
+            for i in 0..n {
+                f(i);
+            }
+            return vec![n as u64];
+        };
+        let job = Arc::new(Job {
+            task: TaskRef::new(f),
+            n,
+            chunk: chunk_granularity(n as usize, self.threads) as u32,
+            next: AtomicU32::new(0),
+            done: AtomicU32::new(0),
+            finished: Mutex::new(false),
+            done_cv: Condvar::new(),
+            per_thread: (0..self.threads).map(|_| AtomicU64::new(0)).collect(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(Arc::clone(&job));
+        }
+        shared.work.notify_all();
+        // The caller participates instead of idling — thread 0 of the pool.
+        job.run_chunks(0);
+        let mut fin = job.finished.lock().unwrap_or_else(|e| e.into_inner());
+        while !*fin {
+            fin = job.done_cv.wait(fin).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(fin);
+        if let Some(payload) = job
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            std::panic::resume_unwind(payload);
+        }
+        job.per_thread
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(s) = &self.shared {
+            {
+                let _q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+                s.shutdown.store(true, Ordering::Release);
+            }
+            s.work.notify_all();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Shared base pointer for handing disjoint per-block chunks to the pool.
+/// Sound because each block index is executed exactly once and indices map
+/// to non-overlapping `stride`-sized ranges.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor so closures capture the `Sync` wrapper, not the raw field.
+    #[inline(always)]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor
 
 /// Virtual GPU: executes kernels block-parallel and meters them.
 #[derive(Clone, Debug)]
 pub struct Executor {
     profiler: Arc<Profiler>,
     device: DeviceModel,
+    pool: Arc<ThreadPool>,
     parallel: bool,
 }
 
 impl Executor {
-    /// Parallel executor (rayon global pool) modeling `device`.
+    /// Parallel executor modeling `device`. The pool width comes from the
+    /// `LBM_THREADS` environment variable if set, else from
+    /// [`std::thread::available_parallelism`].
     pub fn new(device: DeviceModel) -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Self {
             profiler: Arc::new(Profiler::new()),
             device,
+            pool: Arc::new(ThreadPool::new(threads)),
             parallel: true,
+        }
+    }
+
+    /// Executor with an explicit pool width.
+    pub fn with_threads(device: DeviceModel, threads: usize) -> Self {
+        Self {
+            profiler: Arc::new(Profiler::new()),
+            device,
+            pool: Arc::new(ThreadPool::new(threads)),
+            parallel: threads > 1,
         }
     }
 
@@ -48,7 +350,20 @@ impl Executor {
         Self {
             profiler: Arc::new(Profiler::new()),
             device,
+            pool: Arc::new(ThreadPool::new(1)),
             parallel: false,
+        }
+    }
+
+    /// This executor with the pool replaced by one of `threads` threads.
+    /// The profiler and device model are shared with `self`, so metering
+    /// continues to accumulate in one place.
+    pub fn with_thread_count(&self, threads: usize) -> Self {
+        Self {
+            profiler: Arc::clone(&self.profiler),
+            device: self.device.clone(),
+            pool: Arc::new(ThreadPool::new(threads)),
+            parallel: threads > 1 || self.parallel,
         }
     }
 
@@ -62,9 +377,30 @@ impl Executor {
         &self.device
     }
 
-    /// Whether launches run block-parallel.
+    /// Whether launches may be dispatched concurrently (pool width and
+    /// graph-mode streams).
     pub fn is_parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// Number of pool threads executing each launch (including the
+    /// launching thread).
+    pub fn thread_count(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Credits each pool thread's share of the launch's declared traffic,
+    /// proportional to the blocks it executed.
+    fn record_balance(&self, cost: &LaunchCost, n_blocks: usize, executed: &[u64]) {
+        if n_blocks == 0 || self.pool.threads() == 1 {
+            return;
+        }
+        let per_block = cost.traffic_bytes() / n_blocks as u64;
+        for (tid, &blocks) in executed.iter().enumerate() {
+            if blocks > 0 {
+                self.profiler.record_thread_bytes(tid, blocks * per_block);
+            }
+        }
     }
 
     /// Launches a kernel over `n_blocks` blocks. The closure receives the
@@ -75,11 +411,8 @@ impl Executor {
         F: Fn(u32) + Sync,
     {
         let t0 = Instant::now();
-        if self.parallel {
-            (0..n_blocks as u32).into_par_iter().for_each(&f);
-        } else {
-            (0..n_blocks as u32).for_each(&f);
-        }
+        let executed = self.pool.run(n_blocks as u32, &f);
+        self.record_balance(&cost, n_blocks, &executed);
         self.profiler
             .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -101,16 +434,18 @@ impl Executor {
         F: Fn(u32, &mut [T]) + Sync,
     {
         assert!(stride > 0 && data.len().is_multiple_of(stride), "data not block-aligned");
+        let n_blocks = data.len() / stride;
         let t0 = Instant::now();
-        if self.parallel {
-            data.par_chunks_exact_mut(stride)
-                .enumerate()
-                .for_each(|(b, chunk)| f(b as u32, chunk));
-        } else {
-            data.chunks_exact_mut(stride)
-                .enumerate()
-                .for_each(|(b, chunk)| f(b as u32, chunk));
-        }
+        let base = SendPtr(data.as_mut_ptr());
+        let executed = self.pool.run(n_blocks as u32, &|b: u32| {
+            // SAFETY: each block index runs exactly once; ranges are
+            // disjoint and in-bounds by the alignment assert above.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(b as usize * stride), stride)
+            };
+            f(b, chunk);
+        });
+        self.record_balance(&cost, n_blocks, &executed);
         self.profiler
             .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -137,18 +472,22 @@ impl Executor {
         assert!(stride_a > 0 && a.len().is_multiple_of(stride_a), "a not block-aligned");
         assert!(stride_b > 0 && b.len().is_multiple_of(stride_b), "b not block-aligned");
         assert_eq!(a.len() / stride_a, b.len() / stride_b, "block count mismatch");
+        let n_blocks = a.len() / stride_a;
         let t0 = Instant::now();
-        if self.parallel {
-            a.par_chunks_exact_mut(stride_a)
-                .zip(b.par_chunks_exact_mut(stride_b))
-                .enumerate()
-                .for_each(|(i, (ca, cb))| f(i as u32, ca, cb));
-        } else {
-            a.chunks_exact_mut(stride_a)
-                .zip(b.chunks_exact_mut(stride_b))
-                .enumerate()
-                .for_each(|(i, (ca, cb))| f(i as u32, ca, cb));
-        }
+        let pa = SendPtr(a.as_mut_ptr());
+        let pb = SendPtr(b.as_mut_ptr());
+        let executed = self.pool.run(n_blocks as u32, &|i: u32| {
+            // SAFETY: as in `launch_mut`, per-block ranges are disjoint and
+            // in-bounds in both arrays.
+            let (ca, cb) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(pa.get().add(i as usize * stride_a), stride_a),
+                    std::slice::from_raw_parts_mut(pb.get().add(i as usize * stride_b), stride_b),
+                )
+            };
+            f(i, ca, cb);
+        });
+        self.record_balance(&cost, n_blocks, &executed);
         self.profiler
             .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -225,12 +564,94 @@ mod tests {
         let seq = Executor::sequential(DeviceModel::a100_40gb());
         assert!(par.is_parallel());
         assert!(!seq.is_parallel());
+        assert_eq!(seq.thread_count(), 1);
         let mut d1 = vec![0u64; 64];
         let mut d2 = vec![0u64; 64];
         let body = |b: u32, c: &mut [u64]| c.iter_mut().for_each(|v| *v = b as u64 + 7);
         par.launch_mut("k", &mut d1, 8, LaunchCost::default(), body);
         seq.launch_mut("k", &mut d2, 8, LaunchCost::default(), body);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn pool_covers_every_block_exactly_once_at_any_width() {
+        for threads in [1usize, 2, 4, 8] {
+            let ex = Executor::with_threads(DeviceModel::a100_40gb(), threads);
+            assert_eq!(ex.thread_count(), threads);
+            let n = 257; // deliberately not a multiple of any chunk size
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            ex.launch("k", n, LaunchCost::default(), |b| {
+                counts[b as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            for (b, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "block {b} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn launch_mut_is_identical_across_thread_counts() {
+        let reference: Vec<u64> = {
+            let ex = Executor::sequential(DeviceModel::a100_40gb());
+            let mut d = vec![0u64; 32 * 16];
+            ex.launch_mut("k", &mut d, 16, LaunchCost::default(), |b, c| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = (b as u64) << 32 | i as u64;
+                }
+            });
+            d
+        };
+        for threads in [2usize, 4, 8] {
+            let ex = Executor::with_threads(DeviceModel::a100_40gb(), threads);
+            let mut d = vec![0u64; 32 * 16];
+            ex.launch_mut("k", &mut d, 16, LaunchCost::default(), |b, c| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = (b as u64) << 32 | i as u64;
+                }
+            });
+            assert_eq!(d, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn per_thread_byte_shares_sum_to_declared_traffic() {
+        let ex = Executor::with_threads(DeviceModel::a100_40gb(), 4);
+        let n = 64usize;
+        let cost = LaunchCost::cells(n as u64 * 8).loads(2).stores(1).build();
+        ex.launch("k", n, cost, |_| {
+            std::hint::black_box(0u64);
+        });
+        let shares = ex.profiler().thread_bytes();
+        assert!(shares.len() <= 4);
+        // Every block's share is per_block = traffic/n, and all n blocks are
+        // credited exactly once.
+        assert_eq!(shares.iter().sum::<u64>(), cost.traffic_bytes());
+    }
+
+    #[test]
+    fn with_thread_count_shares_the_profiler() {
+        let ex = Executor::sequential(DeviceModel::a100_40gb());
+        let wide = ex.with_thread_count(2);
+        assert_eq!(wide.thread_count(), 2);
+        wide.launch("k", 4, LaunchCost::default(), |_| {});
+        assert_eq!(ex.profiler().launches(), 1);
+    }
+
+    #[test]
+    fn pool_propagates_kernel_panics() {
+        let ex = Executor::with_threads(DeviceModel::a100_40gb(), 4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ex.launch("k", 64, LaunchCost::default(), |b| {
+                assert!(b != 17, "boom at block 17");
+            });
+        }));
+        assert!(r.is_err(), "panic in a kernel block must reach the launcher");
+        // The pool survives a panicked job and keeps executing.
+        let hits = AtomicU64::new(0);
+        ex.launch("k2", 8, LaunchCost::default(), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
     }
 
     #[test]

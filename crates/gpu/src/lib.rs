@@ -6,7 +6,8 @@
 //! This crate reproduces that execution model on CPU hardware:
 //!
 //! - [`exec::Executor`]: kernel launches mapping one sparse-grid block to
-//!   one "CUDA block" (a rayon work item), in parallel or sequential mode;
+//!   one "CUDA block" (a work item claimed from the in-crate
+//!   [`exec::ThreadPool`]), with a configurable thread count;
 //! - [`atomic::AtomicF64Field`]: CUDA-style `atomicAdd(double*)` buffers for
 //!   the scatter Accumulate step;
 //! - [`counters::Profiler`]: per-kernel launch / traffic / sync metering;
@@ -33,5 +34,5 @@ pub use counters::{
     LaunchCostBuilder, Profiler,
 };
 pub use device::DeviceModel;
-pub use exec::Executor;
+pub use exec::{Executor, ThreadPool, THREADS_ENV};
 pub use memory::{max_uniform_cube, MemoryPlan};

@@ -143,6 +143,51 @@ mod tests {
     }
 
     #[test]
+    fn finiteness_detects_injected_nan() {
+        let mut g = grid_with([0.0; 3]);
+        assert!(is_finite(&g));
+        // Poison a single population slot; the detector must trip on it.
+        g.levels[0].f.src_mut().set(0, 3, 7, f64::NAN);
+        assert!(!is_finite(&g));
+        g.levels[0].f.src_mut().set(0, 3, 7, 1.0);
+        assert!(is_finite(&g));
+        g.levels[0].f.src_mut().set(0, 0, 0, f64::INFINITY);
+        assert!(!is_finite(&g));
+    }
+
+    fn still_engine() -> lbm_core::Engine<f64, D3Q19, lbm_lattice::Bgk<f64>> {
+        use lbm_gpu::{DeviceModel, Executor};
+        let spec = GridSpec::uniform(Box3::from_dims(8, 8, 8));
+        let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, 1.0);
+        let mut eng = lbm_core::Engine::builder(grid)
+            .collision(lbm_lattice::Bgk::new(1.0))
+            .build(Executor::sequential(DeviceModel::a100_40gb()));
+        eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [0.0; 3]);
+        eng
+    }
+
+    #[test]
+    fn run_to_steady_converges_on_quiescent_flow() {
+        // Zero flow in a closed box: kinetic energy stays 0, so the very
+        // first chunk satisfies any positive tolerance.
+        let mut eng = still_engine();
+        let steps = run_to_steady(&mut eng, 3, 1e-9, 30);
+        assert_eq!(steps, 3);
+        assert_eq!(eng.coarse_steps(), 3);
+        assert!(is_finite(&eng.grid));
+    }
+
+    #[test]
+    fn run_to_steady_respects_max_steps() {
+        // tol = 0 is unsatisfiable (the criterion is a strict `<`), so the
+        // driver must stop exactly at the cap.
+        let mut eng = still_engine();
+        let steps = run_to_steady(&mut eng, 2, 0.0, 6);
+        assert_eq!(steps, 6);
+        assert_eq!(eng.coarse_steps(), 6);
+    }
+
+    #[test]
     fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("lbm_diag_test");
         std::fs::create_dir_all(&dir).unwrap();

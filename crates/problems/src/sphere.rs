@@ -133,12 +133,25 @@ impl SphereFlow {
 
     /// Builds the paper's KBC/D3Q27 engine, initialized to the inlet flow.
     pub fn engine(&self, variant: Variant, exec: Executor) -> SphereEngine {
+        self.engine_with(variant, exec, |b| b)
+    }
+
+    /// Like [`SphereFlow::engine`] but lets the caller adjust the builder
+    /// (interior path, Accumulate path, execution mode, …) before assembly.
+    pub fn engine_with(
+        &self,
+        variant: Variant,
+        exec: Executor,
+        configure: impl FnOnce(
+            lbm_core::EngineBuilderWithOp<f64, D3Q27, Kbc<f64>>,
+        ) -> lbm_core::EngineBuilderWithOp<f64, D3Q27, Kbc<f64>>,
+    ) -> SphereEngine {
         let bc = tunnel_boundary(self.config.size, self.config.levels, self.config.u_inlet);
         let grid = MultiGrid::<f64, D3Q27>::build(self.spec(), &bc, self.omega0);
-        let mut eng = Engine::builder(grid)
+        let builder = Engine::builder(grid)
             .collision(Kbc::new(self.omega0))
-            .variant(variant)
-            .build(exec);
+            .variant(variant);
+        let mut eng = configure(builder).build(exec);
         let u = self.config.u_inlet;
         eng.grid.init_equilibrium(|_, _| 1.0, |_, _| [u, 0.0, 0.0]);
         eng

@@ -42,6 +42,23 @@ impl Schedule {
             .find_map(|w| w.iter().position(|&n| n == node))
     }
 
+    /// Partitions wave `w`'s nodes across at most `max_streams` virtual
+    /// streams (round-robin), preserving ascending node order within each
+    /// stream. The executor dispatches one thread per stream; with
+    /// `max_streams == 1` the whole wave runs on one stream in program
+    /// order. Returns no more groups than the wave has nodes, and never an
+    /// empty group.
+    pub fn stream_partition(&self, w: usize, max_streams: usize) -> Vec<Vec<usize>> {
+        let wave = &self.waves[w];
+        let k = max_streams.max(1).min(wave.len().max(1));
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &node) in wave.iter().enumerate() {
+            groups[i % k].push(node);
+        }
+        groups.retain(|g| !g.is_empty());
+        groups
+    }
+
     /// Number of synchronization points (between consecutive waves).
     pub fn sync_count(&self) -> usize {
         self.waves.len().saturating_sub(1)
@@ -98,6 +115,29 @@ mod tests {
         assert_eq!(s.sync_count(), 2);
         assert_eq!(s.kernel_count(), 4);
         assert_eq!(s.sync_count(), g.sync_count());
+    }
+
+    #[test]
+    fn stream_partition_round_robins_in_order() {
+        let mut g = TaskGraph::new();
+        // Five independent writers land in one wave.
+        for i in 0..5 {
+            g.push(node(&format!("k{i}"), &[], &[i]));
+        }
+        let s = Schedule::from_graph(&g);
+        assert_eq!(s.waves.len(), 1);
+        assert_eq!(s.stream_partition(0, 1), vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(
+            s.stream_partition(0, 2),
+            vec![vec![0, 2, 4], vec![1, 3]],
+            "round-robin keeps each stream ascending"
+        );
+        // More streams than nodes: one node per stream, no empty groups.
+        assert_eq!(
+            s.stream_partition(0, 8),
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4]]
+        );
+        assert_eq!(s.stream_partition(0, 0), vec![vec![0, 1, 2, 3, 4]]);
     }
 
     #[test]

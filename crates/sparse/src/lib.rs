@@ -13,7 +13,10 @@
 //!   AoSoA) every field access is resolved through;
 //! - [`offsets`]: precomputed per-direction streaming source decompositions
 //!   (the branch-free direction-major gather tables) and their per-layout
-//!   element-space lowerings.
+//!   element-space lowerings;
+//! - [`partition`]: block partitioning for intra-kernel parallelism —
+//!   work-stealing chunk granularity and stable owner maps for
+//!   deterministic staged reductions.
 
 #![warn(missing_docs)]
 
@@ -23,6 +26,7 @@ pub mod field;
 pub mod grid;
 pub mod layout;
 pub mod offsets;
+pub mod partition;
 pub mod sfc;
 
 pub use bitmask::BitMask;
@@ -31,4 +35,5 @@ pub use field::{DoubleBuffer, Field, HalfReadGuard, HalfWriteGuard, SplitHalves}
 pub use grid::{dir_slot, Block, BlockIdx, CellRef, GridBuilder, SparseGrid, INVALID_BLOCK};
 pub use layout::{Layout, Slots};
 pub use offsets::{CopyRun, DirOffsets, DirRegion, LayoutRuns, MemRun, StreamOffsets, CENTER_SLOT};
+pub use partition::{chunk_granularity, OwnerMap, NO_OWNER};
 pub use sfc::SpaceFillingCurve;

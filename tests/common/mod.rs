@@ -1,0 +1,192 @@
+//! Shared harness for the integration suites: seeded random 2-level
+//! geometries, engine construction over every execution knob (mode, layout,
+//! thread count, Accumulate path), bit-level field comparison, and the
+//! canonical FNV-1a state digest the determinism suite pins on.
+//!
+//! Everything here is deterministic by construction — no ambient RNG, no
+//! wall-clock — so any two engines built from the same seed start from the
+//! exact same bits.
+#![allow(dead_code)]
+
+use lbm_refinement::core::{AllWalls, Engine, ExecMode, GridSpec, MultiGrid, Variant};
+use lbm_refinement::gpu::{DeviceModel, Executor};
+use lbm_refinement::lattice::{Bgk, VelocitySet};
+use lbm_refinement::sparse::{Box3, Layout};
+
+/// Deterministic xorshift64*: the tests must not depend on ambient RNG.
+pub fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A random but valid 2-level nested-box refinement in a 24³ finest
+/// domain (coarse level is 12³; the box keeps ≥ 2 cells of margin).
+pub fn random_box(seed: u64) -> ([i32; 3], [i32; 3]) {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut pick = |lo: i32, hi: i32| lo + (xorshift(&mut s) % (hi - lo) as u64) as i32;
+    let lo = [pick(2, 5), pick(2, 5), pick(2, 5)];
+    let hi = [
+        (lo[0] + pick(2, 5)).min(10),
+        (lo[1] + pick(2, 5)).min(10),
+        (lo[2] + pick(2, 5)).min(10),
+    ];
+    (lo, hi)
+}
+
+/// Execution knobs for [`seeded_engine_with`]; `Default` reproduces the
+/// original single-thread sequential configuration.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EngineOpts {
+    /// Eager or wave-scheduled graph execution.
+    pub mode: ExecMode,
+    /// Population memory layout.
+    pub layout: Layout,
+    /// Kernel-pool width (`None` keeps the sequential executor's 1).
+    pub threads: Option<usize>,
+    /// Accumulate-path override (`None` keeps the engine default:
+    /// staged iff more than one thread).
+    pub staged: Option<bool>,
+}
+
+/// Builds an engine over the seeded geometry with a deterministic,
+/// spatially varying initial velocity, honoring every knob in `opts`.
+/// The initial condition goes through the accessor API, so the seeded
+/// logical state is identical regardless of layout or thread count.
+pub fn seeded_engine_with<V: VelocitySet>(
+    seed: u64,
+    variant: Variant,
+    opts: EngineOpts,
+) -> Engine<f64, V, Bgk<f64>> {
+    let (lo, hi) = random_box(seed);
+    let spec = GridSpec::new(2, Box3::from_dims(24, 24, 24), move |l, p| {
+        l == 0
+            && (lo[0]..hi[0]).contains(&p.x)
+            && (lo[1]..hi[1]).contains(&p.y)
+            && (lo[2]..hi[2]).contains(&p.z)
+    });
+    let grid = MultiGrid::<f64, V>::build(spec, &AllWalls, 1.6);
+    let mut b = Engine::builder(grid)
+        .collision(Bgk::new(1.6))
+        .variant(variant)
+        .exec_mode(opts.mode)
+        .layout(opts.layout);
+    if let Some(t) = opts.threads {
+        b = b.threads(t);
+    }
+    if let Some(s) = opts.staged {
+        b = b.staged_accumulate(s);
+    }
+    let mut eng = b.build(Executor::sequential(DeviceModel::a100_40gb()));
+    eng.grid.init_equilibrium(
+        |_, _| 1.0,
+        move |l, p| {
+            let k = (seed as i32 + l as i32 + 3 * p.x + 5 * p.y + 7 * p.z) as f64;
+            [0.02 * (k * 0.37).sin(), 0.015 * (k * 0.61).cos(), 0.01 * (k * 0.23).sin()]
+        },
+    );
+    eng
+}
+
+/// [`seeded_engine_with`] with an explicit layout only (the historical
+/// signature most suites use).
+pub fn seeded_engine<V: VelocitySet>(
+    seed: u64,
+    variant: Variant,
+    mode: ExecMode,
+    layout: Layout,
+) -> Engine<f64, V, Bgk<f64>> {
+    seeded_engine_with(
+        seed,
+        variant,
+        EngineOpts {
+            mode,
+            layout,
+            ..EngineOpts::default()
+        },
+    )
+}
+
+/// Sequential-executor engine in the default layout.
+pub fn mode_engine<V: VelocitySet>(
+    seed: u64,
+    variant: Variant,
+    mode: ExecMode,
+) -> Engine<f64, V, Bgk<f64>> {
+    seeded_engine(seed, variant, mode, Layout::default())
+}
+
+/// Asserts bit-for-bit equality of every population slot in both halves of
+/// every level's double buffer (raw-slice comparison; requires identical
+/// layouts).
+pub fn assert_bits_identical<V: VelocitySet>(
+    a: &Engine<f64, V, Bgk<f64>>,
+    b: &Engine<f64, V, Bgk<f64>>,
+    what: &str,
+) {
+    for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
+        for h in 0..2 {
+            let fa = la.f.half(h).as_slice();
+            let fb = lb.f.half(h).as_slice();
+            assert_eq!(fa.len(), fb.len(), "{what}: level {l} half {h} size");
+            for (i, (x, y)) in fa.iter().zip(fb).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "{what}: level {l} half {h} slot {i}: {x:e} vs {y:e}"
+                );
+            }
+        }
+    }
+}
+
+/// Asserts bit-for-bit equality of the logical population state in both
+/// halves of every level's double buffer, layout-blind (reads back per
+/// `(block, direction, cell)` through the accessor API).
+pub fn assert_logical_bits_identical<V: VelocitySet>(
+    a: &Engine<f64, V, Bgk<f64>>,
+    b: &Engine<f64, V, Bgk<f64>>,
+    what: &str,
+) {
+    for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
+        for h in 0..2 {
+            let (fa, fb) = (la.f.half(h), lb.f.half(h));
+            let cpb = fa.cells_per_block() as u32;
+            for blk in 0..la.grid.num_blocks() as u32 {
+                for i in 0..V::Q {
+                    for cell in 0..cpb {
+                        let (x, y) = (fa.get(blk, i, cell), fb.get(blk, i, cell));
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "{what}: level {l} half {h} block {blk} dir {i} \
+                             cell {cell}: {x:e} vs {y:e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a digest of every active population of every level, folded in
+/// canonical `(level, block, component, cell)` accessor order over the
+/// source half — the same traversal `lbm_bench::grid_digest` uses, so a
+/// digest printed by `report -- thread-sweep` is comparable to one from
+/// the test suite.
+pub fn grid_digest<V: VelocitySet>(grid: &MultiGrid<f64, V>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for level in &grid.levels {
+        let f = level.f.src();
+        for (r, _) in level.grid.iter_active() {
+            for i in 0..V::Q {
+                for b in f.get(r.block, i, r.cell).to_bits().to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+    }
+    h
+}

@@ -2,6 +2,8 @@
 //! nested-box spec must build, conserve mass in a closed box, and keep all
 //! variants equivalent.
 
+mod common;
+
 use lbm_refinement::core::{AllWalls, Engine, GridSpec, MultiGrid, Variant};
 use lbm_refinement::gpu::{DeviceModel, Executor};
 use lbm_refinement::lattice::{Bgk, D3Q19};
@@ -32,6 +34,17 @@ fn random_spec() -> impl Strategy<Value = RandomSpec> {
 }
 
 fn build_engine(r: &RandomSpec, variant: Variant) -> Engine<f64, D3Q19, Bgk<f64>> {
+    build_engine_threads(r, variant, None, None)
+}
+
+/// [`build_engine`] with explicit pool-width / Accumulate-path knobs
+/// (`None` keeps the engine defaults for a fresh executor).
+fn build_engine_threads(
+    r: &RandomSpec,
+    variant: Variant,
+    threads: Option<usize>,
+    staged: Option<bool>,
+) -> Engine<f64, D3Q19, Bgk<f64>> {
     let (lo, hi) = (r.lo, r.hi);
     let spec = GridSpec::new(2, Box3::from_dims(24, 24, 24), move |l, p| {
         l == 0
@@ -40,12 +53,32 @@ fn build_engine(r: &RandomSpec, variant: Variant) -> Engine<f64, D3Q19, Bgk<f64>
             && (lo[2]..hi[2]).contains(&p.z)
     });
     let grid = MultiGrid::<f64, D3Q19>::build(spec, &AllWalls, r.omega0);
-    let mut eng = Engine::builder(grid)
+    let mut b = Engine::builder(grid)
         .collision(Bgk::new(r.omega0))
-        .variant(variant)
-        .build(Executor::new(DeviceModel::a100_40gb()));
+        .variant(variant);
+    if let Some(t) = threads {
+        b = b.threads(t);
+    }
+    if let Some(s) = staged {
+        b = b.staged_accumulate(s);
+    }
+    let mut eng = b.build(Executor::sequential(DeviceModel::a100_40gb()));
     let u = r.u;
-    eng.grid.init_equilibrium(|_, _| 1.0, move |_, _| u);
+    // Spatially varying on top of the random bulk velocity, so the
+    // interface-crossing populations the Accumulate scatters are all
+    // distinct values (a uniform field would hide ordering bugs whose
+    // mis-summed terms happen to be equal).
+    eng.grid.init_equilibrium(
+        |_, _| 1.0,
+        move |l, p| {
+            let k = (l as i32 + 3 * p.x + 5 * p.y + 7 * p.z) as f64;
+            [
+                u[0] + 0.005 * (k * 0.37).sin(),
+                u[1] + 0.005 * (k * 0.61).cos(),
+                u[2] + 0.005 * (k * 0.23).sin(),
+            ]
+        },
+    );
     eng
 }
 
@@ -91,5 +124,30 @@ proptest! {
             }
         }
         prop_assert!(max < 1e-10, "variants deviate by {:e}", max);
+    }
+
+    /// The staged Accumulate (plain-store staging slab + fixed-order merge)
+    /// equals the serial atomic scatter **exactly** — bit for bit, not to a
+    /// tolerance — on any valid geometry, for any thread count. This is the
+    /// determinism contract of DESIGN.md §10: the merge replays the serial
+    /// scatter's addition order per accumulator slot.
+    #[test]
+    fn staged_accumulate_bit_equals_serial_scatter(r in random_spec()) {
+        let steps = 3;
+        // Serial reference: 1 thread, atomic scatter (engine default).
+        let mut serial = build_engine_threads(&r, Variant::FusedAll, None, None);
+        prop_assert!(!serial.staged_accumulate());
+        serial.run(steps);
+        let d = common::grid_digest(&serial.grid);
+        // Staged split forced onto the serial executor, and staged on a
+        // real 4-thread pool: both must reproduce the reference bits.
+        for (threads, staged) in [(None, Some(true)), (Some(4), None)] {
+            let mut eng = build_engine_threads(&r, Variant::FusedAll, threads, staged);
+            prop_assert!(eng.staged_accumulate());
+            eng.run(steps);
+            let what = format!("staged threads={threads:?}");
+            prop_assert!(common::grid_digest(&eng.grid) == d, "digest diverged: {}", what);
+            common::assert_logical_bits_identical(&serial, &eng, &what);
+        }
     }
 }

@@ -2,12 +2,15 @@
 //! models and both precisions: all fusion configurations must compute the
 //! same physics (they only re-cut the kernels).
 
-use lbm_refinement::core::{AllWalls, Engine, ExecMode, GridSpec, MultiGrid, Variant};
+mod common;
+
+use common::{assert_bits_identical, assert_logical_bits_identical, mode_engine, seeded_engine};
+use lbm_refinement::core::{Engine, ExecMode, MultiGrid, Variant};
 use lbm_refinement::gpu::{DeviceModel, Executor};
 use lbm_refinement::lattice::{Bgk, VelocitySet, D3Q19, D3Q27};
 use lbm_refinement::problems::sphere::{SphereConfig, SphereFlow};
 use lbm_refinement::problems::tunnel_boundary;
-use lbm_refinement::sparse::{Box3, Coord, Layout};
+use lbm_refinement::sparse::{Coord, Layout};
 
 fn low_re_flow() -> SphereFlow {
     let mut c = SphereConfig::for_size([36, 24, 36]);
@@ -126,96 +129,7 @@ fn f32_engine_tracks_f64() {
 // Eager vs graph execution: the wave-scheduled dispatch must be *bit*
 // identical to the program-order dispatch — same kernels, same field bits,
 // same declared traffic — on randomized sparse geometries, every fusion
-// variant, both velocity sets.
-
-/// Deterministic xorshift64*: the tests must not depend on ambient RNG.
-fn xorshift(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x.wrapping_mul(0x2545F4914F6CDD1D)
-}
-
-/// A random but valid 2-level nested-box refinement in a 24³ finest
-/// domain (coarse level is 12³; the box keeps ≥ 2 cells of margin).
-fn random_box(seed: u64) -> ([i32; 3], [i32; 3]) {
-    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    let mut pick = |lo: i32, hi: i32| lo + (xorshift(&mut s) % (hi - lo) as u64) as i32;
-    let lo = [pick(2, 5), pick(2, 5), pick(2, 5)];
-    let hi = [
-        (lo[0] + pick(2, 5)).min(10),
-        (lo[1] + pick(2, 5)).min(10),
-        (lo[2] + pick(2, 5)).min(10),
-    ];
-    (lo, hi)
-}
-
-/// Builds a sequential-executor engine over the seeded geometry with a
-/// deterministic, spatially varying initial velocity.
-fn mode_engine<V: VelocitySet>(
-    seed: u64,
-    variant: Variant,
-    mode: ExecMode,
-) -> Engine<f64, V, Bgk<f64>> {
-    seeded_engine(seed, variant, mode, Layout::default())
-}
-
-/// [`mode_engine`] with an explicit population memory layout. The initial
-/// condition goes through the accessor API, so the seeded logical state is
-/// identical regardless of where each value lands in memory.
-fn seeded_engine<V: VelocitySet>(
-    seed: u64,
-    variant: Variant,
-    mode: ExecMode,
-    layout: Layout,
-) -> Engine<f64, V, Bgk<f64>> {
-    let (lo, hi) = random_box(seed);
-    let spec = GridSpec::new(2, Box3::from_dims(24, 24, 24), move |l, p| {
-        l == 0
-            && (lo[0]..hi[0]).contains(&p.x)
-            && (lo[1]..hi[1]).contains(&p.y)
-            && (lo[2]..hi[2]).contains(&p.z)
-    });
-    let grid = MultiGrid::<f64, V>::build(spec, &AllWalls, 1.6);
-    let mut eng = Engine::builder(grid)
-        .collision(Bgk::new(1.6))
-        .variant(variant)
-        .exec_mode(mode)
-        .layout(layout)
-        .build(Executor::sequential(DeviceModel::a100_40gb()));
-    eng.grid.init_equilibrium(
-        |_, _| 1.0,
-        move |l, p| {
-            let k = (seed as i32 + l as i32 + 3 * p.x + 5 * p.y + 7 * p.z) as f64;
-            [0.02 * (k * 0.37).sin(), 0.015 * (k * 0.61).cos(), 0.01 * (k * 0.23).sin()]
-        },
-    );
-    eng
-}
-
-/// Asserts bit-for-bit equality of every population slot in both halves of
-/// every level's double buffer.
-fn assert_bits_identical<V: VelocitySet>(
-    a: &Engine<f64, V, Bgk<f64>>,
-    b: &Engine<f64, V, Bgk<f64>>,
-    what: &str,
-) {
-    for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
-        for h in 0..2 {
-            let fa = la.f.half(h).as_slice();
-            let fb = lb.f.half(h).as_slice();
-            assert_eq!(fa.len(), fb.len(), "{what}: level {l} half {h} size");
-            for (i, (x, y)) in fa.iter().zip(fb).enumerate() {
-                assert!(
-                    x.to_bits() == y.to_bits(),
-                    "{what}: level {l} half {h} slot {i}: {x:e} vs {y:e}"
-                );
-            }
-        }
-    }
-}
+// variant, both velocity sets. The seeded harness lives in tests/common.
 
 /// Runs one seeded geometry through both exec modes and checks fields and
 /// declared traffic.
@@ -261,34 +175,7 @@ fn graph_mode_bit_identical_to_eager_d3q27() {
 // lives inside a block, so every layout must compute bit-identical logical
 // state and declare identical traffic. Raw slices differ by construction —
 // the comparison reads back per `(block, direction, cell)` through the
-// accessor API.
-
-/// Asserts bit-for-bit equality of the logical population state in both
-/// halves of every level's double buffer, layout-blind.
-fn assert_logical_bits_identical<V: VelocitySet>(
-    a: &Engine<f64, V, Bgk<f64>>,
-    b: &Engine<f64, V, Bgk<f64>>,
-    what: &str,
-) {
-    for (l, (la, lb)) in a.grid.levels.iter().zip(&b.grid.levels).enumerate() {
-        for h in 0..2 {
-            let (fa, fb) = (la.f.half(h), lb.f.half(h));
-            let cpb = fa.cells_per_block() as u32;
-            for blk in 0..la.grid.num_blocks() as u32 {
-                for i in 0..V::Q {
-                    for cell in 0..cpb {
-                        let (x, y) = (fa.get(blk, i, cell), fb.get(blk, i, cell));
-                        assert!(
-                            x.to_bits() == y.to_bits(),
-                            "{what}: level {l} half {h} block {blk} dir {i} \
-                             cell {cell}: {x:e} vs {y:e}"
-                        );
-                    }
-                }
-            }
-        }
-    }
-}
+// accessor API (tests/common's `assert_logical_bits_identical`).
 
 /// Runs one seeded geometry under every layout and checks logical state
 /// and declared traffic against the block-SoA reference.
