@@ -20,6 +20,12 @@
 #    (`digests_match`) — gated: the staged Accumulate's ordered merge is
 #    a determinism contract (DESIGN.md §10). Speedups are NOT gated
 #    (CI runners are often single-core; see EXPERIMENTS.md).
+# 7. `report -- checkpoint` smoke: regenerates BENCH_checkpoint.json and
+#    asserts every interrupted-and-resumed run is bit-identical to its
+#    uninterrupted twin (`resume_digest == uninterrupted_digest`), per
+#    case and across the save-layout/restore-layout cross case — gated:
+#    crash-safe restart is a correctness contract (DESIGN.md §11).
+#    Snapshot sizes and save/load throughput are reported, not gated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,8 +65,28 @@ assert d["digests_match"], "thread sweep: physics digests differ across thread c
 assert len(d["cases"]) >= 4, f"expected >= 4 thread counts, got {len(d['cases'])}"
 assert any(c["staged"] for c in d["cases"]), "no case exercised the staged Accumulate"
 assert any(not c["staged"] for c in d["cases"]), "no case exercised the serial atomic path"
+for c in d["cases"]:
+    # The per-thread counter unit is executed *blocks* (DESIGN.md §10).
+    assert "per_thread_blocks" in c, f"missing per_thread_blocks: {c}"
+    if c["threads"] > 1:
+        assert len(c["per_thread_blocks"]) <= c["threads"], f"more counters than threads: {c}"
 print("thread-sweep ok:", len(d["cases"]), "pool widths bit-identical, digest",
       d["cases"][0]["digest"])
+EOF
+    cargo run --release -q -p lbm-bench --bin report -- checkpoint
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_checkpoint.json"))
+assert d["all_match"], "checkpoint: some resumed run diverged from its uninterrupted twin"
+assert d["cross_layout_match"], "checkpoint: cross-layout restore diverged"
+assert len(d["cases"]) >= 8, f"expected >= 8 restart cases, got {len(d['cases'])}"
+assert any(c["cross_layout"] for c in d["cases"]), "no cross-layout restore case"
+for c in d["cases"]:
+    assert c["resume_digest"] == c["uninterrupted_digest"], f"restart diverged: {c}"
+    assert c["digests_match"], f"case flag disagrees with digests: {c}"
+    assert c["snapshot_bytes"] > 0, f"empty snapshot: {c}"
+print("checkpoint ok:", len(d["cases"]), "restart cases bit-identical,",
+      d["cases"][0]["snapshot_bytes"], "bytes/snapshot")
 EOF
 fi
 

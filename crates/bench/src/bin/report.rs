@@ -13,11 +13,12 @@
 //! execution and writes `BENCH_graph.json` plus a chrome://tracing file
 //! `BENCH_graph_trace.json`; `layout-sweep` compares the population
 //! memory layouts across block sizes and velocity sets and writes
-//! `BENCH_layout.json`.
+//! `BENCH_layout.json`; `checkpoint` measures snapshot save/load and the
+//! interrupt/resume bit-identity gate and writes `BENCH_checkpoint.json`.
 
 use std::time::Instant;
 
-use lbm_bench::{cavity_case, graph_case, layout_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, thread_sweep_case, CaseResult, ThreadSweepResult};
+use lbm_bench::{cavity_case, checkpoint_case, graph_case, layout_case, sphere_case, stream_kernel_compare, streaming_case, table1_row, CaseResult, CheckpointCaseResult, ThreadSweepResult, thread_sweep_case};
 use lbm_compare::PalabosLike;
 use lbm_core::{alg1_graph, memory_report, step_graph, ExecMode, InteriorPath, MultiGrid, Variant};
 use lbm_gpu::{max_uniform_cube, DeviceModel, Executor};
@@ -46,6 +47,7 @@ fn main() {
         "graph" => graph_report(),
         "layout-sweep" => layout_sweep(),
         "thread-sweep" => thread_sweep(),
+        "checkpoint" => checkpoint_report(),
         "all" => {
             fig2();
             ghost();
@@ -58,7 +60,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph layout-sweep thread-sweep all");
+            eprintln!("choose from: fig2 ghost fig7 compare uniform table1 fig9 fig1 bench-json graph layout-sweep thread-sweep checkpoint all");
             std::process::exit(2);
         }
     }
@@ -142,11 +144,14 @@ fn fig7() {
         let mut eng =
             cavity.engine(Variant::FusedAll, Executor::new(DeviceModel::a100_40gb()));
         let transit = cavity.transit_coarse_steps();
-        let steps = diagnostics::run_to_steady(&mut eng, transit, 2e-6, 120 * transit);
+        let out = diagnostics::run_to_steady(&mut eng, transit, 2e-6, 120 * transit);
+        assert!(!out.diverged, "fig7 cavity diverged at step {}", out.steps);
         let (u_err, v_err) = cavity.validate(&eng);
         println!(
-            "N={n} levels={levels}: converged in {steps} coarse steps; \
+            "N={n} levels={levels}: {} in {} coarse steps; \
              u rms={:.4} max={:.4}; v rms={:.4} max={:.4}",
+            if out.converged { "converged" } else { "hit step cap" },
+            out.steps,
             u_err.rms, u_err.max, v_err.rms, v_err.max
         );
     }
@@ -708,11 +713,11 @@ fn thread_sweep() {
     let case_objs: Vec<String> = results
         .iter()
         .map(|r| {
-            let ptb: Vec<String> = r.per_thread_bytes.iter().map(u64::to_string).collect();
+            let ptb: Vec<String> = r.per_thread_blocks.iter().map(u64::to_string).collect();
             format!(
                 "    {{ \"threads\": {}, \"wall_s\": {:.6}, \"speedup_vs_1\": {:.4}, \
                  \"measured_mlups\": {:.3}, \"modeled_mlups\": {:.3}, \"staged\": {}, \
-                 \"digest\": \"{}\", \"per_thread_bytes\": [{}] }}",
+                 \"digest\": \"{}\", \"per_thread_blocks\": [{}] }}",
                 r.threads,
                 r.case.wall.as_secs_f64(),
                 base_wall / r.case.wall.as_secs_f64(),
@@ -733,6 +738,101 @@ fn thread_sweep() {
     );
     std::fs::write("BENCH_parallel.json", &json).unwrap();
     println!("\nwrote BENCH_parallel.json (digests match: {digests_match})");
+}
+
+/// Crash-safe checkpoint/restart equivalence → `BENCH_checkpoint.json`.
+///
+/// Every case runs the refined cavity twice: uninterrupted to the step
+/// target, and interrupted-midway → snapshot to a real file → fresh engine
+/// → restore → finish. The two final-state digests must be bit-identical —
+/// that equality (per case, plus a save-under-one-layout /
+/// restore-under-another cross case) is what CI gates on. Snapshot sizes
+/// and save/load throughput are reported, not gated (machine-dependent).
+fn checkpoint_report() {
+    banner("Checkpoint/restart — interrupt/resume equivalence (BENCH_checkpoint.json)");
+    let (n, levels, interrupt_at, total) = (32usize, 2u32, 3usize, 7usize);
+    let soa = Layout::BlockSoA;
+    // layouts × exec modes at 1 thread, both modes again at 8 threads,
+    // plus the cross-layout restore (canonical-format witness).
+    let plan: Vec<(Layout, Layout, ExecMode, usize)> = vec![
+        (soa, soa, ExecMode::Eager, 1),
+        (Layout::CellAoS, Layout::CellAoS, ExecMode::Eager, 1),
+        (Layout::Tiled { width: 32 }, Layout::Tiled { width: 32 }, ExecMode::Eager, 1),
+        (soa, soa, ExecMode::Graph, 1),
+        (Layout::CellAoS, Layout::CellAoS, ExecMode::Graph, 1),
+        (Layout::Tiled { width: 32 }, Layout::Tiled { width: 32 }, ExecMode::Graph, 1),
+        (soa, soa, ExecMode::Eager, 8),
+        (soa, soa, ExecMode::Graph, 8),
+        (soa, Layout::Tiled { width: 32 }, ExecMode::Eager, 1),
+    ];
+    let results: Vec<(CheckpointCaseResult, bool)> = plan
+        .iter()
+        .map(|&(save, restore, mode, threads)| {
+            let cross = save != restore;
+            (
+                checkpoint_case(n, levels, save, restore, mode, threads, interrupt_at, total),
+                cross,
+            )
+        })
+        .collect();
+    let all_match = results.iter().all(|(r, _)| r.digests_match());
+    let cross_layout_match = results
+        .iter()
+        .filter(|(_, cross)| *cross)
+        .all(|(r, _)| r.digests_match());
+    println!(
+        "\ncavity n={n} L={levels}, interrupt at {interrupt_at}/{total} coarse steps"
+    );
+    println!(
+        "{:>34} {:>12} {:>11} {:>11} {:>6}",
+        "case", "snapshot B", "save MiB/s", "load MiB/s", "match"
+    );
+    for (r, _) in &results {
+        println!(
+            "{:>34} {:>12} {:>11.1} {:>11.1} {:>6}",
+            r.label,
+            r.snapshot_bytes,
+            r.save_mib_s(),
+            r.load_mib_s(),
+            r.digests_match()
+        );
+    }
+    println!(
+        "restart gate: {}",
+        if all_match { "OK (resume bit-identical to uninterrupted)" } else { "MISMATCH" }
+    );
+    let case_objs: Vec<String> = results
+        .iter()
+        .map(|(r, cross)| {
+            format!(
+                "    {{ \"case\": \"{}\", \"cross_layout\": {}, \"snapshot_bytes\": {}, \
+                 \"save_s\": {:.6}, \"load_s\": {:.6}, \
+                 \"save_mib_s\": {:.2}, \"load_mib_s\": {:.2}, \
+                 \"uninterrupted_digest\": \"{}\", \"resume_digest\": \"{}\", \
+                 \"digests_match\": {} }}",
+                r.label,
+                cross,
+                r.snapshot_bytes,
+                r.save_s,
+                r.load_s,
+                r.save_mib_s(),
+                r.load_mib_s(),
+                r.uninterrupted_digest,
+                r.resume_digest,
+                r.digests_match()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"checkpoint\",\n  \"device_model\": \"a100_40gb\",\n  \
+         \"n\": {n}, \"levels\": {levels}, \"interrupt_at\": {interrupt_at}, \
+         \"total_steps\": {total},\n  \"all_match\": {all_match},\n  \
+         \"cross_layout_match\": {cross_layout_match},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        case_objs.join(",\n")
+    );
+    std::fs::write("BENCH_checkpoint.json", &json).unwrap();
+    println!("\nwrote BENCH_checkpoint.json (all match: {all_match})");
 }
 
 /// Fig. 1 / §VI-B: airplane-tunnel capacity claim.

@@ -321,9 +321,9 @@ pub struct ThreadSweepResult {
     /// [`grid_digest`] of the final state — must be bit-identical across
     /// every thread count (the determinism pin of DESIGN.md §10).
     pub digest: String,
-    /// Modeled bytes attributed to each pool thread over the timed steps
+    /// Blocks executed by each pool thread over the timed steps
     /// (work-balance observability; empty at one thread).
-    pub per_thread_bytes: Vec<u64>,
+    pub per_thread_blocks: Vec<u64>,
     /// Whether the engine ran the staged deterministic Accumulate path
     /// (default: iff `threads > 1`).
     pub staged: bool,
@@ -362,9 +362,127 @@ pub fn thread_sweep_case(
     ThreadSweepResult {
         threads,
         digest: grid_digest(&eng.grid),
-        per_thread_bytes: eng.exec.profiler().thread_bytes(),
+        per_thread_blocks: eng.exec.profiler().thread_blocks(),
         staged: eng.staged_accumulate(),
         case,
+    }
+}
+
+/// One restart-equivalence case of `report -- checkpoint`.
+#[derive(Clone, Debug)]
+pub struct CheckpointCaseResult {
+    /// Case label (layouts, execution mode, pool width).
+    pub label: String,
+    /// Snapshot size on disk, bytes.
+    pub snapshot_bytes: usize,
+    /// Wall seconds to serialize the grid and write the snapshot file.
+    pub save_s: f64,
+    /// Wall seconds to read the file back, validate it and restore.
+    pub load_s: f64,
+    /// [`grid_digest`] of the uninterrupted run's final state.
+    pub uninterrupted_digest: String,
+    /// [`grid_digest`] after interrupt → save → fresh engine → restore →
+    /// finish. Must equal `uninterrupted_digest` bit-exactly.
+    pub resume_digest: String,
+}
+
+impl CheckpointCaseResult {
+    /// Whether the resumed run reproduced the uninterrupted run bit-exactly.
+    pub fn digests_match(&self) -> bool {
+        self.uninterrupted_digest == self.resume_digest
+    }
+
+    /// Save throughput in MiB/s (serialization + file write).
+    pub fn save_mib_s(&self) -> f64 {
+        self.snapshot_bytes as f64 / (1024.0 * 1024.0) / self.save_s.max(1e-12)
+    }
+
+    /// Load throughput in MiB/s (file read + validation + restore).
+    pub fn load_mib_s(&self) -> f64 {
+        self.snapshot_bytes as f64 / (1024.0 * 1024.0) / self.load_s.max(1e-12)
+    }
+}
+
+/// Runs the refined-cavity restart-equivalence experiment: one engine runs
+/// `total_steps` uninterrupted; a second identical engine is interrupted at
+/// `interrupt_at` steps, snapshotted to a real temp file, and a **fresh**
+/// engine (built with `restore_layout`, possibly different from the layout
+/// the snapshot was written under — the format is canonical, DESIGN.md §11)
+/// restores from disk and finishes the remaining steps. Both final states
+/// are digested; crash-safe restart means the digests are bit-identical.
+#[allow(clippy::too_many_arguments)] // a full experiment spec, not an API surface
+pub fn checkpoint_case(
+    n: usize,
+    levels: u32,
+    save_layout: Layout,
+    restore_layout: Layout,
+    mode: ExecMode,
+    threads: usize,
+    interrupt_at: usize,
+    total_steps: usize,
+) -> CheckpointCaseResult {
+    assert!(interrupt_at > 0 && interrupt_at < total_steps);
+    let mk = |layout: Layout| {
+        let cavity = Cavity::new(CavityConfig {
+            n_finest: n,
+            levels,
+            wall_band: if levels == 1 { 0 } else { 4 },
+            quasi_2d: true,
+            depth: 8,
+            ..CavityConfig::default()
+        });
+        cavity.engine_with(
+            Variant::FusedAll,
+            Executor::new(DeviceModel::a100_40gb()),
+            |b| b.layout(layout).exec_mode(mode).threads(threads),
+        )
+    };
+    let label = format!(
+        "{}->{} {:?} threads={}",
+        save_layout.label(),
+        restore_layout.label(),
+        mode,
+        threads
+    );
+
+    // The reference: same initial state, never interrupted.
+    let mut reference = mk(restore_layout);
+    reference.run(total_steps);
+    let uninterrupted_digest = grid_digest(&reference.grid);
+
+    // The "crashed" run: stops at interrupt_at and snapshots to disk.
+    let path = std::env::temp_dir().join(format!(
+        "lbm_ckpt_{}_{}.bin",
+        std::process::id(),
+        label.replace(['-', '>', ' ', '='], "_")
+    ));
+    let mut interrupted = mk(save_layout);
+    interrupted.run(interrupt_at);
+    let t0 = std::time::Instant::now();
+    let blob = interrupted.checkpoint();
+    std::fs::write(&path, &blob).expect("snapshot write");
+    let save_s = t0.elapsed().as_secs_f64();
+    let snapshot_bytes = blob.len();
+    drop(interrupted); // the process is "gone"
+
+    // The restarted run: a fresh engine restores from disk and finishes.
+    let mut resumed = mk(restore_layout);
+    let t0 = std::time::Instant::now();
+    let bytes = std::fs::read(&path).expect("snapshot read");
+    resumed.restore(&bytes).expect("snapshot restore");
+    let load_s = t0.elapsed().as_secs_f64();
+    assert_eq!(resumed.coarse_steps(), interrupt_at as u64);
+    resumed.run(total_steps - interrupt_at);
+    let resume_digest = grid_digest(&resumed.grid);
+    let _ = std::fs::remove_file(&path);
+
+    CheckpointCaseResult {
+        label,
+        snapshot_bytes,
+        save_s,
+        load_s,
+        uninterrupted_digest,
+        resume_digest,
     }
 }
 

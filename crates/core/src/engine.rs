@@ -32,10 +32,13 @@
 use std::time::{Duration, Instant};
 
 use lbm_gpu::{with_span_context, AtomicF64Field, Executor};
-use lbm_lattice::{Collision, Real, VelocitySet};
+use lbm_lattice::{omega_at_level, Collision, Real, VelocitySet};
 use lbm_runtime::{Schedule, TaskGraph};
 use lbm_sparse::{Field, HalfReadGuard, Layout, LayoutRuns, SparseGrid, SplitHalves};
 
+use crate::checkpoint::{
+    self, CheckpointError, HealthAction, HealthCause, HealthEvent, HealthGuard, HealthPolicy,
+};
 use crate::flags::BlockFlags;
 use crate::graphs;
 use crate::kernels::{self, InteriorPath, StreamInputs, StreamOptions};
@@ -109,6 +112,17 @@ pub struct Engine<T: Real, V: VelocitySet, C> {
     /// built for. The wave partition is invariant under buffer parity, so
     /// one schedule serves every step.
     plan: Option<(Variant, bool, Schedule)>,
+    /// Periodic health checks ([`EngineBuilder::health`]); `None` = off.
+    health: Option<HealthGuard>,
+    /// Last healthy snapshot, cut by the rollback policy's healthy checks.
+    last_snapshot: Option<(u64, Vec<u8>)>,
+    /// Every health incident recorded so far.
+    health_events: Vec<HealthEvent>,
+    /// Rollbacks performed so far (bounded by the policy's budget).
+    rollbacks: u32,
+    /// Set when a policy decided the engine must stop; [`Engine::run`]
+    /// breaks out, [`Engine::step`] becomes a no-op.
+    halted: bool,
 }
 
 /// Fluent builder for [`Engine`] (start with [`Engine::builder`]); supply
@@ -124,6 +138,7 @@ pub struct EngineBuilder<T: Real, V: VelocitySet> {
     layout: Layout,
     threads: Option<usize>,
     staged: Option<bool>,
+    health: Option<HealthGuard>,
 }
 
 /// [`EngineBuilder`] with the collision operator chosen; finish with
@@ -150,6 +165,7 @@ impl<T: Real, V: VelocitySet> Engine<T, V, ()> {
             layout,
             threads: None,
             staged: None,
+            health: None,
         }
     }
 }
@@ -209,6 +225,14 @@ impl<T: Real, V: VelocitySet> EngineBuilder<T, V> {
         self
     }
 
+    /// Installs periodic health checks: every `guard.check_every()` coarse
+    /// steps the engine scans for non-finite populations and excessive flow
+    /// speeds and applies the guard's [`HealthPolicy`].
+    pub fn health(mut self, guard: HealthGuard) -> Self {
+        self.health = Some(guard);
+        self
+    }
+
     /// Chooses the collision model. Each level gets an instance rebuilt
     /// with its own ω (paper Eq. 9 — the grid carries per-level rates from
     /// `omega0`).
@@ -263,6 +287,12 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> EngineBuilderWithOp<T, V, C> {
         self
     }
 
+    /// Installs periodic health checks (see [`EngineBuilder::health`]).
+    pub fn health(mut self, guard: HealthGuard) -> Self {
+        self.base.health = Some(guard);
+        self
+    }
+
     /// Assembles the engine on the given executor.
     pub fn build(self, exec: Executor) -> Engine<T, V, C> {
         let mut b = self.base;
@@ -283,6 +313,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> EngineBuilderWithOp<T, V, C> {
             b.time_interp,
             b.exec_mode,
             staged,
+            b.health,
         )
     }
 }
@@ -298,6 +329,7 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         time_interp: bool,
         exec_mode: ExecMode,
         staged: bool,
+        health: Option<HealthGuard>,
     ) -> Self {
         let ops = grid
             .levels
@@ -331,6 +363,11 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
             exec_mode,
             staged,
             plan: None,
+            health,
+            last_snapshot: None,
+            health_events: Vec::new(),
+            rollbacks: 0,
+            halted: false,
         }
     }
 
@@ -433,6 +470,9 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
     /// Advances the coarsest level by one time step (finer levels advance
     /// `2^L` substeps).
     pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
         if self.exec_mode == ExecMode::Graph {
             let stale = match &self.plan {
                 Some((v, ti, _)) => *v != self.variant || *ti != self.time_interp,
@@ -538,13 +578,122 @@ impl<T: Real, V: VelocitySet, C: Collision<T, V>> Engine<T, V, C> {
         // (even — no net change).
         self.grid.levels[0].f.swap();
         self.coarse_steps += 1;
+
+        if let Some(guard) = self.health {
+            if self.coarse_steps.is_multiple_of(guard.check_every()) {
+                self.health_check(guard);
+            }
+        }
     }
 
-    /// Runs `n` coarsest steps.
+    /// Runs one due health check and applies the guard's policy.
+    fn health_check(&mut self, guard: HealthGuard) {
+        let cause = if !self.grid.is_finite() {
+            Some(HealthCause::NonFinite)
+        } else {
+            let speed = self.grid.max_speed();
+            (speed > guard.speed_bound()).then_some(HealthCause::SpeedExceeded(speed))
+        };
+        let Some(cause) = cause else {
+            // Healthy. Under the rollback policy this state is the new
+            // recovery point.
+            if matches!(
+                guard.configured_policy(),
+                HealthPolicy::RollbackToLastCheckpoint(_)
+            ) {
+                self.last_snapshot = Some((self.coarse_steps, self.checkpoint()));
+            }
+            return;
+        };
+        let step = self.coarse_steps;
+        let action = match guard.configured_policy() {
+            HealthPolicy::Abort => {
+                self.halted = true;
+                HealthAction::Aborted
+            }
+            HealthPolicy::Report => HealthAction::Reported,
+            HealthPolicy::RollbackToLastCheckpoint(budget) => {
+                match self.last_snapshot.take() {
+                    Some((to_step, blob)) if self.rollbacks < budget => {
+                        self.restore(&blob)
+                            .expect("engine's own snapshot must restore");
+                        self.rollbacks += 1;
+                        self.last_snapshot = Some((to_step, blob));
+                        HealthAction::RolledBack { to_step }
+                    }
+                    other => {
+                        self.last_snapshot = other;
+                        self.halted = true;
+                        HealthAction::Halted
+                    }
+                }
+            }
+        };
+        self.health_events.push(HealthEvent {
+            step,
+            cause,
+            action,
+        });
+    }
+
+    /// Runs `n` coarsest steps, stopping early if a health policy halts the
+    /// engine (see [`Engine::halted`]).
     pub fn run(&mut self, n: usize) {
         for _ in 0..n {
+            if self.halted {
+                break;
+            }
             self.step();
         }
+    }
+
+    /// True once a health policy has halted the engine. A halted engine
+    /// stays restorable: [`Engine::restore`] (typically after
+    /// [`Engine::set_omega0`]) clears the halt and resumes stepping.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Every health incident recorded so far, oldest first.
+    pub fn health_events(&self) -> &[HealthEvent] {
+        &self.health_events
+    }
+
+    /// Serializes the engine's full simulation state — all levels, both
+    /// double-buffer halves, flags, accumulators, parity and the step
+    /// count — into a self-contained checksummed blob (see
+    /// [`crate::checkpoint`] for the format).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        checkpoint::save(&self.grid, self.coarse_steps)
+    }
+
+    /// Restores a snapshot produced by [`Engine::checkpoint`] (possibly by
+    /// an engine using a different memory layout), resetting the step count
+    /// to the snapshot's and clearing any health halt. On `Err` the engine
+    /// is untouched. The cached wave schedule survives: the wave partition
+    /// is parity-invariant.
+    pub fn restore(&mut self, snapshot: &[u8]) -> Result<(), CheckpointError> {
+        let steps = checkpoint::restore(&mut self.grid, snapshot)?;
+        self.coarse_steps = steps;
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Re-derives every level's relaxation rate from a new `omega0` (paper
+    /// Eq. 9) and rebuilds the per-level collision operators to match — the
+    /// standard post-rollback adjustment: restore the last good state, drop
+    /// `omega0` toward stability, resume.
+    pub fn set_omega0(&mut self, omega0: f64) {
+        for (l, level) in self.grid.levels.iter_mut().enumerate() {
+            level.omega = omega_at_level(omega0, l as u32);
+        }
+        self.ops = self
+            .grid
+            .levels
+            .iter()
+            .zip(&self.ops)
+            .map(|(lv, op)| op.with_omega(T::from_f64(lv.omega)))
+            .collect();
     }
 
     /// Runs `n` coarsest steps and returns the wall-clock duration.

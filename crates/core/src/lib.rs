@@ -18,6 +18,8 @@
 //! - [`engine`]: the nonuniform time stepper (Algorithm 1, restructured),
 //!   executing the program eagerly or wave-scheduled from the graph;
 //! - [`graphs`]: Fig.-2 dependency-graph generators;
+//! - [`checkpoint`]: crash-safe snapshot format and runtime health guards
+//!   (checkpoint/restart, as in the waLBerla/Palabos production codes);
 //! - [`memory_report`]: ghost-layer and capacity accounting (§IV-A, §VI-B);
 //! - [`aa`]: the AA-pattern single-buffer uniform solver (paper ref. [7]),
 //!   the storage scheme behind the §VI-B uniform-grid capacity bound.
@@ -26,6 +28,7 @@
 
 pub mod aa;
 pub mod boundary;
+pub mod checkpoint;
 pub mod engine;
 pub mod flags;
 pub mod graphs;
@@ -40,6 +43,9 @@ pub mod variant;
 
 pub use aa::AaSolver;
 pub use boundary::{AllWalls, Boundary, BoundarySpec};
+pub use checkpoint::{
+    CheckpointError, HealthAction, HealthCause, HealthEvent, HealthGuard, HealthPolicy,
+};
 pub use engine::{Engine, EngineBuilder, EngineBuilderWithOp, ExecMode};
 pub use graphs::{alg1_graph, step_graph, step_graph_for};
 pub use kernels::InteriorPath;

@@ -659,6 +659,35 @@ impl<T: Real, V: VelocitySet> MultiGrid<T, V> {
         total
     }
 
+    /// True iff every population value in **both** halves of every level's
+    /// double buffer is finite. Scanning both halves matters: a NaN parked
+    /// in the idle (`dst`) half — e.g. after a restore, or written by the
+    /// last substep before a parity swap — would otherwise escape detection
+    /// and resurface on the next swap.
+    pub fn is_finite(&self) -> bool {
+        self.levels.iter().all(|lv| {
+            (0..2).all(|h| lv.f.half(h).as_slice().iter().all(|v| v.is_finite()))
+        })
+    }
+
+    /// Maximum flow speed `|u|` over the real cells of every level, in
+    /// lattice units (comparable across levels under acoustic scaling).
+    /// Health guards compare this against the lattice sound speed: a
+    /// resolved flow must stay well below `1/√3`.
+    pub fn max_speed(&self) -> f64 {
+        let mut max = 0.0f64;
+        for (l, level) in self.levels.iter().enumerate() {
+            for (r, _) in level.iter_real() {
+                let (_, u) = self.density_velocity(l, r);
+                let s2 = u[0].to_f64() * u[0].to_f64()
+                    + u[1].to_f64() * u[1].to_f64()
+                    + u[2].to_f64() * u[2].to_f64();
+                max = max.max(s2);
+            }
+        }
+        max.sqrt()
+    }
+
     /// Total momentum `Σ ρu·V_cell` in finest-cell volume units.
     pub fn total_momentum(&self) -> [f64; 3] {
         let mut total = [0.0; 3];

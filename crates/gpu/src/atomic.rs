@@ -152,6 +152,14 @@ impl AtomicF64Field {
         f64::from_bits(self.data[i].load(Ordering::Relaxed))
     }
 
+    /// Overwrites a slot by flat element index — the write-side counterpart
+    /// of [`Self::load_flat`], used by checkpoint restore to replay a
+    /// serialized accumulator image.
+    #[inline(always)]
+    pub fn store_flat(&self, i: usize, v: f64) {
+        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
     /// Resets every slot to zero.
     pub fn reset(&self) {
         let zero = 0f64.to_bits();
@@ -276,6 +284,8 @@ mod tests {
                     let flat = f.flat_index(b, c, i);
                     assert!(flat < f.len());
                     assert_eq!(f.load_flat(flat), f.load(b, c, i));
+                    f.store_flat(flat, -1.0 * flat as f64);
+                    assert_eq!(f.load(b, c, i), -1.0 * flat as f64);
                 }
             }
         }

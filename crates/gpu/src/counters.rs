@@ -319,7 +319,7 @@ pub struct Profiler {
     uncoalesced_bytes: AtomicU64,
     wall_ns: AtomicU64,
     per_kernel: Mutex<BTreeMap<&'static str, KernelStats>>,
-    thread_bytes: Mutex<Vec<u64>>,
+    thread_blocks: Mutex<Vec<u64>>,
     tracing: AtomicBool,
     epoch: Instant,
     spans: Mutex<Vec<KernelSpan>>,
@@ -339,7 +339,7 @@ impl Default for Profiler {
             uncoalesced_bytes: AtomicU64::new(0),
             wall_ns: AtomicU64::new(0),
             per_kernel: Mutex::new(BTreeMap::new()),
-            thread_bytes: Mutex::new(Vec::new()),
+            thread_blocks: Mutex::new(Vec::new()),
             tracing: AtomicBool::new(false),
             epoch: Instant::now(),
             spans: Mutex::new(Vec::new()),
@@ -389,22 +389,24 @@ impl Profiler {
         self.syncs.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Credits `bytes` of a launch's declared traffic to pool thread `tid`
-    /// (called by the executor with each thread's share, proportional to
-    /// the blocks it executed — the CPU analogue of per-SM counters).
-    pub fn record_thread_bytes(&self, tid: usize, bytes: u64) {
-        let mut v = self.thread_bytes.lock();
+    /// Credits `blocks` executed blocks to pool thread `tid` (called by the
+    /// executor after each multi-thread launch — the CPU analogue of per-SM
+    /// work counters). The unit is **blocks**, not bytes: block counts are
+    /// exact, whereas dividing a launch's declared traffic across blocks
+    /// truncates.
+    pub fn record_thread_blocks(&self, tid: usize, blocks: u64) {
+        let mut v = self.thread_blocks.lock();
         if v.len() <= tid {
             v.resize(tid + 1, 0);
         }
-        v[tid] += bytes;
+        v[tid] += blocks;
     }
 
-    /// Accumulated per-thread traffic shares, indexed by pool thread id.
-    /// Empty unless a multi-thread executor has run (single-thread launches
-    /// skip the bookkeeping).
-    pub fn thread_bytes(&self) -> Vec<u64> {
-        self.thread_bytes.lock().clone()
+    /// Accumulated per-thread executed **block counts**, indexed by pool
+    /// thread id. Empty unless a multi-thread executor has run
+    /// (single-thread launches skip the bookkeeping).
+    pub fn thread_blocks(&self) -> Vec<u64> {
+        self.thread_blocks.lock().clone()
     }
 
     /// Records the start of one executor wave (a group of kernels
@@ -580,7 +582,7 @@ impl Profiler {
         self.uncoalesced_bytes.store(0, Ordering::Relaxed);
         self.wall_ns.store(0, Ordering::Relaxed);
         self.per_kernel.lock().clear();
-        self.thread_bytes.lock().clear();
+        self.thread_blocks.lock().clear();
         self.spans.lock().clear();
     }
 }

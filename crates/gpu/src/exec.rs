@@ -15,8 +15,8 @@
 //! Every launch records its declared [`LaunchCost`] plus measured wall time
 //! with the shared [`Profiler`], so benches can report measured and modeled
 //! performance from the same run. With more than one pool thread the
-//! profiler additionally receives per-thread traffic shares
-//! ([`Profiler::thread_bytes`]), the CPU analogue of per-SM occupancy
+//! profiler additionally receives per-thread executed block counts
+//! ([`Profiler::thread_blocks`]), the CPU analogue of per-SM occupancy
 //! counters.
 //!
 //! ## Determinism contract
@@ -389,16 +389,16 @@ impl Executor {
         self.pool.threads()
     }
 
-    /// Credits each pool thread's share of the launch's declared traffic,
-    /// proportional to the blocks it executed.
-    fn record_balance(&self, cost: &LaunchCost, n_blocks: usize, executed: &[u64]) {
+    /// Credits each pool thread with the blocks it executed this launch.
+    /// Raw block counts, not byte shares: `traffic / n_blocks` truncates,
+    /// so byte figures never summed back to the declared traffic.
+    fn record_balance(&self, n_blocks: usize, executed: &[u64]) {
         if n_blocks == 0 || self.pool.threads() == 1 {
             return;
         }
-        let per_block = cost.traffic_bytes() / n_blocks as u64;
         for (tid, &blocks) in executed.iter().enumerate() {
             if blocks > 0 {
-                self.profiler.record_thread_bytes(tid, blocks * per_block);
+                self.profiler.record_thread_blocks(tid, blocks);
             }
         }
     }
@@ -412,7 +412,7 @@ impl Executor {
     {
         let t0 = Instant::now();
         let executed = self.pool.run(n_blocks as u32, &f);
-        self.record_balance(&cost, n_blocks, &executed);
+        self.record_balance(n_blocks, &executed);
         self.profiler
             .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -445,7 +445,7 @@ impl Executor {
             };
             f(b, chunk);
         });
-        self.record_balance(&cost, n_blocks, &executed);
+        self.record_balance(n_blocks, &executed);
         self.profiler
             .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -487,7 +487,7 @@ impl Executor {
             };
             f(i, ca, cb);
         });
-        self.record_balance(&cost, n_blocks, &executed);
+        self.record_balance(n_blocks, &executed);
         self.profiler
             .record_launch(name, cost, t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -614,18 +614,20 @@ mod tests {
     }
 
     #[test]
-    fn per_thread_byte_shares_sum_to_declared_traffic() {
+    fn per_thread_block_counts_sum_to_launched_blocks() {
+        // Pins the counter's unit: each launched block is credited to
+        // exactly one thread as a raw *block count* (not a byte share —
+        // the old traffic/n_blocks division truncated, so byte figures
+        // never added back up to the declared traffic).
         let ex = Executor::with_threads(DeviceModel::a100_40gb(), 4);
         let n = 64usize;
         let cost = LaunchCost::cells(n as u64 * 8).loads(2).stores(1).build();
         ex.launch("k", n, cost, |_| {
             std::hint::black_box(0u64);
         });
-        let shares = ex.profiler().thread_bytes();
+        let shares = ex.profiler().thread_blocks();
         assert!(shares.len() <= 4);
-        // Every block's share is per_block = traffic/n, and all n blocks are
-        // credited exactly once.
-        assert_eq!(shares.iter().sum::<u64>(), cost.traffic_bytes());
+        assert_eq!(shares.iter().sum::<u64>(), n as u64);
     }
 
     #[test]

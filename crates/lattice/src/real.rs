@@ -60,6 +60,18 @@ pub trait Real:
     fn min(self, other: Self) -> Self;
     /// True if the value is finite (not NaN/inf). Used by sanity assertions.
     fn is_finite(self) -> bool;
+    /// Width of the representation in bits (32 or 64). Recorded in
+    /// checkpoint headers so an `f32` snapshot cannot be silently loaded
+    /// into an `f64` solver.
+    const BITS: u32;
+    /// The raw IEEE-754 bit pattern, zero-extended to 64 bits. Exact for
+    /// every value including NaN payloads — the checkpoint serializer goes
+    /// through this (never through a float conversion) so save/load is a
+    /// bit-level identity.
+    fn to_bits64(self) -> u64;
+    /// Inverse of [`Real::to_bits64`] (the upper 32 bits are ignored for
+    /// `f32`).
+    fn from_bits64(bits: u64) -> Self;
 }
 
 impl Real for f64 {
@@ -98,6 +110,15 @@ impl Real for f64 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    const BITS: u32 = 64;
+    #[inline(always)]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
     }
 }
 
@@ -138,6 +159,15 @@ impl Real for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    const BITS: u32 = 32;
+    #[inline(always)]
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline(always)]
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +200,21 @@ mod tests {
         assert_eq!(a.max(b), 4.0);
         assert_eq!(a.min(b), 3.0);
         assert!((-a).abs() == 3.0);
+    }
+
+    #[test]
+    fn bit_patterns_round_trip() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_bits64(v.to_bits64()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_bits64(v.to_bits64()).to_bits(), v.to_bits());
+        }
+        // NaN payloads survive (a float conversion would not guarantee it).
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(f64::from_bits64(weird.to_bits64()).to_bits(), weird.to_bits());
+        assert_eq!(f64::BITS, 64);
+        assert_eq!(f32::BITS, 32);
     }
 
     #[test]

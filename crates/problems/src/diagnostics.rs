@@ -31,57 +31,83 @@ pub fn kinetic_energy<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> f64 {
 
 /// Maximum velocity magnitude over real cells (stability monitor: values
 /// approaching the lattice sound speed 0.577 mean the run is diverging).
+/// Delegates to [`MultiGrid::max_speed`] — the same probe the engine's
+/// health guards use.
 pub fn max_speed<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> f64 {
-    let mut max = 0.0f64;
-    for level in &grid.levels {
-        let f = level.f.src();
-        for (r, _) in level.iter_real() {
-            let mut pops = [T::ZERO; MAX_Q];
-            #[allow(clippy::needless_range_loop)] // pops is MAX_Q-sized, reads V::Q
-            for i in 0..V::Q {
-                pops[i] = f.get(r.block, i, r.cell);
-            }
-            let (_, u) = lbm_lattice::density_velocity::<T, V>(&pops[..]);
-            max = max.max(lbm_lattice::moments::speed(u).to_f64());
-        }
-    }
-    max
+    grid.max_speed()
 }
 
-/// True when the field contains no NaN/inf populations.
+/// True when the field contains no NaN/inf populations, in **either** half
+/// of any level's double buffer. Delegates to [`MultiGrid::is_finite`]:
+/// scanning only the source half would let a NaN parked in the idle half
+/// (after a restore, or written by the last substep before a swap) escape
+/// and resurface on the next swap.
 pub fn is_finite<T: Real, V: VelocitySet>(grid: &MultiGrid<T, V>) -> bool {
-    grid.levels
-        .iter()
-        .all(|l| l.f.src().as_slice().iter().all(|v| v.is_finite()))
+    grid.is_finite()
+}
+
+/// What [`run_to_steady`] observed when it stopped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SteadyOutcome {
+    /// Coarse steps taken by the driver.
+    pub steps: usize,
+    /// The relative kinetic-energy change per chunk dropped below `tol`.
+    pub converged: bool,
+    /// The kinetic energy went non-finite — the run blew up; `steps` is
+    /// where that was detected. Mutually exclusive with `converged`.
+    pub diverged: bool,
 }
 
 /// Steady-state driver: runs in chunks of `check_every` coarse steps until
-/// the relative kinetic-energy change per chunk drops below `tol` (or
-/// `max_steps` is reached). Returns the number of coarse steps taken.
+/// the relative kinetic-energy change per chunk drops below `tol`, the
+/// energy goes non-finite (divergence), or `max_steps` is reached.
+///
+/// # Panics
+/// If `check_every == 0` — a zero chunk would make no progress and loop
+/// forever.
 pub fn run_to_steady<T, V, C>(
     eng: &mut lbm_core::Engine<T, V, C>,
     check_every: usize,
     tol: f64,
     max_steps: usize,
-) -> usize
+) -> SteadyOutcome
 where
     T: Real,
     V: VelocitySet,
     C: lbm_lattice::Collision<T, V>,
 {
+    assert!(
+        check_every > 0,
+        "run_to_steady needs a positive check_every (0 would loop forever)"
+    );
     let mut prev = kinetic_energy(&eng.grid);
     let mut steps = 0;
     while steps < max_steps {
         eng.run(check_every);
         steps += check_every;
         let ke = kinetic_energy(&eng.grid);
+        if !ke.is_finite() {
+            return SteadyOutcome {
+                steps,
+                converged: false,
+                diverged: true,
+            };
+        }
         let denom = ke.abs().max(1e-300);
         if ((ke - prev) / denom).abs() < tol {
-            return steps;
+            return SteadyOutcome {
+                steps,
+                converged: true,
+                diverged: false,
+            };
         }
         prev = ke;
     }
-    steps
+    SteadyOutcome {
+        steps,
+        converged: false,
+        diverged: false,
+    }
 }
 
 /// Writes `(x, value)` rows as CSV.
@@ -155,6 +181,20 @@ mod tests {
         assert!(!is_finite(&g));
     }
 
+    #[test]
+    fn finiteness_detects_nan_in_dst_half_only() {
+        // Regression: the detector used to scan only the src() half, so a
+        // NaN parked in the destination half (stale after a restore, or
+        // written by the last substep before a swap) escaped detection
+        // until the next swap made it live again.
+        let mut g = grid_with([0.0; 3]);
+        g.levels[0].f.dst_mut().set(0, 5, 11, f64::NAN);
+        assert!(!is_finite(&g), "NaN in the dst half must be detected");
+        // And it is still caught after the swap brings it live.
+        g.levels[0].f.swap();
+        assert!(!is_finite(&g));
+    }
+
     fn still_engine() -> lbm_core::Engine<f64, D3Q19, lbm_lattice::Bgk<f64>> {
         use lbm_gpu::{DeviceModel, Executor};
         let spec = GridSpec::uniform(Box3::from_dims(8, 8, 8));
@@ -171,8 +211,10 @@ mod tests {
         // Zero flow in a closed box: kinetic energy stays 0, so the very
         // first chunk satisfies any positive tolerance.
         let mut eng = still_engine();
-        let steps = run_to_steady(&mut eng, 3, 1e-9, 30);
-        assert_eq!(steps, 3);
+        let out = run_to_steady(&mut eng, 3, 1e-9, 30);
+        assert_eq!(out.steps, 3);
+        assert!(out.converged);
+        assert!(!out.diverged);
         assert_eq!(eng.coarse_steps(), 3);
         assert!(is_finite(&eng.grid));
     }
@@ -180,11 +222,36 @@ mod tests {
     #[test]
     fn run_to_steady_respects_max_steps() {
         // tol = 0 is unsatisfiable (the criterion is a strict `<`), so the
-        // driver must stop exactly at the cap.
+        // driver must stop exactly at the cap — without converging.
         let mut eng = still_engine();
-        let steps = run_to_steady(&mut eng, 2, 0.0, 6);
-        assert_eq!(steps, 6);
+        let out = run_to_steady(&mut eng, 2, 0.0, 6);
+        assert_eq!(out.steps, 6);
+        assert!(!out.converged);
+        assert!(!out.diverged);
         assert_eq!(eng.coarse_steps(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive check_every")]
+    fn run_to_steady_rejects_zero_chunk() {
+        // Regression: check_every == 0 used to spin forever (steps never
+        // advanced past 0 yet each iteration ran 0 engine steps).
+        let mut eng = still_engine();
+        let _ = run_to_steady(&mut eng, 0, 1e-9, 30);
+    }
+
+    #[test]
+    fn run_to_steady_reports_divergence_instead_of_hanging() {
+        // Regression: a NaN kinetic energy made the convergence test
+        // silently false forever (NaN comparisons), so a diverged run spun
+        // until max_steps. Now it is detected and reported at the first
+        // checkpoint after the blow-up.
+        let mut eng = still_engine();
+        eng.grid.levels[0].f.src_mut().set(0, 2, 3, f64::NAN);
+        let out = run_to_steady(&mut eng, 2, 1e-9, 1_000_000);
+        assert!(out.diverged);
+        assert!(!out.converged);
+        assert_eq!(out.steps, 2, "divergence must surface at the first check");
     }
 
     #[test]

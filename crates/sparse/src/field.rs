@@ -181,6 +181,54 @@ impl<T: Copy> Field<T> {
     pub fn heap_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<T>()
     }
+
+    /// Copies every value out in *canonical order*: `(block, comp, cell)`
+    /// ascending, independent of the intra-block [`Layout`]. This is the
+    /// serialization order of the checkpoint format — two fields holding the
+    /// same logical values produce the same canonical vector even when their
+    /// physical layouts differ.
+    pub fn canonical_values(&self) -> Vec<T> {
+        let slots = self.slots();
+        let stride = self.block_stride();
+        let mut out = Vec::with_capacity(self.data.len());
+        for block in self.data.chunks_exact(stride) {
+            for comp in 0..self.q {
+                for cell in 0..self.cells_per_block {
+                    out.push(block[slots.of(comp, cell)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes a canonical-order value vector (see
+    /// [`Field::canonical_values`]) back into the field's *current* layout.
+    /// The inverse of extraction for any layout, which is what makes a
+    /// snapshot saved under one layout restorable under another.
+    ///
+    /// # Panics
+    /// If `values.len()` differs from the field's element count.
+    pub fn load_canonical(&mut self, values: &[T]) {
+        assert_eq!(
+            values.len(),
+            self.data.len(),
+            "canonical image has {} values, field holds {}",
+            values.len(),
+            self.data.len()
+        );
+        let slots = self.slots();
+        let stride = self.block_stride();
+        let q = self.q;
+        let cpb = self.cells_per_block;
+        let mut src = values.iter();
+        for block in self.data.chunks_exact_mut(stride) {
+            for comp in 0..q {
+                for cell in 0..cpb {
+                    block[slots.of(comp, cell)] = *src.next().unwrap();
+                }
+            }
+        }
+    }
 }
 
 /// Swappable double buffer of fields (pre-/post-streaming populations).
@@ -294,6 +342,28 @@ impl<T: Copy> DoubleBuffer<T> {
         } else {
             &self.b
         }
+    }
+
+    /// Mutable access to half `h` (0 or 1) irrespective of parity — the
+    /// restore-side counterpart of [`DoubleBuffer::half`].
+    #[inline(always)]
+    pub fn half_mut(&mut self, h: usize) -> &mut Field<T> {
+        if h == 0 {
+            &mut self.a
+        } else {
+            &mut self.b
+        }
+    }
+
+    /// Forces the parity to `parity` (0 or 1), so a restored buffer resumes
+    /// with the same source/destination orientation the snapshot recorded.
+    ///
+    /// # Panics
+    /// If `parity` is not 0 or 1.
+    #[inline(always)]
+    pub fn set_parity(&mut self, parity: usize) {
+        assert!(parity < 2, "parity must be 0 or 1, got {parity}");
+        self.flipped = parity == 1;
     }
 
     /// Splits the buffer into independently borrowable halves for
@@ -534,6 +604,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn canonical_values_are_layout_invariant() {
+        let g = grid();
+        let mut reference = Field::<u32>::new(&g, 19, 0);
+        for blk in 0..g.num_blocks() as u32 {
+            for comp in 0..19 {
+                for cell in 0..64 {
+                    reference.set(blk, comp, cell, blk * 100_000 + (comp as u32) * 1000 + cell);
+                }
+            }
+        }
+        let canon = reference.canonical_values();
+        assert_eq!(canon.len(), reference.as_slice().len());
+        // Canonical order is (block, comp, cell) ascending.
+        assert_eq!(canon[0], reference.get(0, 0, 0));
+        assert_eq!(canon[1], reference.get(0, 0, 1));
+        assert_eq!(canon[64], reference.get(0, 1, 0));
+        // Every layout extracts the same canonical image …
+        for layout in LAYOUTS {
+            let mut f = reference.clone();
+            f.convert_layout(layout);
+            assert_eq!(f.canonical_values(), canon, "{layout:?}");
+            // … and loading it into a fresh field of that layout restores
+            // every logical value.
+            let mut fresh = Field::<u32>::with_layout(&g, 19, 0, layout);
+            fresh.load_canonical(&canon);
+            for blk in 0..g.num_blocks() as u32 {
+                for comp in 0..19 {
+                    for cell in 0..64 {
+                        assert_eq!(
+                            fresh.get(blk, comp, cell),
+                            reference.get(blk, comp, cell),
+                            "{layout:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical image")]
+    fn load_canonical_rejects_wrong_length() {
+        let g = grid();
+        let mut f = Field::<u32>::new(&g, 2, 0);
+        let short = vec![0u32; 3];
+        f.load_canonical(&short);
+    }
+
+    #[test]
+    fn set_parity_reorients_the_buffer() {
+        let g = grid();
+        let mut db = DoubleBuffer::<f64>::new(&g, 1, 0.0);
+        db.half_mut(0).set(0, 0, 0, 1.0);
+        db.half_mut(1).set(0, 0, 0, 2.0);
+        assert_eq!(db.parity(), 0);
+        assert_eq!(db.src().get(0, 0, 0), 1.0);
+        db.set_parity(1);
+        assert_eq!(db.parity(), 1);
+        assert_eq!(db.src().get(0, 0, 0), 2.0);
+        db.set_parity(1); // idempotent
+        assert_eq!(db.parity(), 1);
+        db.set_parity(0);
+        assert_eq!(db.src().get(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity must be 0 or 1")]
+    fn set_parity_rejects_out_of_range() {
+        let g = grid();
+        let mut db = DoubleBuffer::<f64>::new(&g, 1, 0.0);
+        db.set_parity(2);
     }
 
     #[test]

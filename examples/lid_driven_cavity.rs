@@ -52,10 +52,16 @@ fn main() {
     let transit = cavity.transit_coarse_steps();
     println!("running to steady state (transit = {transit} coarse steps)...");
     let t0 = std::time::Instant::now();
-    let steps = diagnostics::run_to_steady(&mut eng, transit, 2e-6, 120 * transit);
+    let out = diagnostics::run_to_steady(&mut eng, transit, 2e-6, 120 * transit);
     let wall = t0.elapsed();
+    if out.diverged {
+        eprintln!("run DIVERGED (non-finite energy) at step {}", out.steps);
+        std::process::exit(1);
+    }
+    let steps = out.steps;
     println!(
-        "reached steady state in {steps} coarse steps, {:.1} s, {:.1} MLUPS measured",
+        "reached steady state in {steps} coarse steps ({}), {:.1} s, {:.1} MLUPS measured",
+        if out.converged { "converged" } else { "step cap" },
         wall.as_secs_f64(),
         eng.mlups_measured(steps as u64, wall)
     );

@@ -8,7 +8,7 @@
 //! exact same bits.
 #![allow(dead_code)]
 
-use lbm_refinement::core::{AllWalls, Engine, ExecMode, GridSpec, MultiGrid, Variant};
+use lbm_refinement::core::{AllWalls, Engine, ExecMode, GridSpec, HealthGuard, MultiGrid, Variant};
 use lbm_refinement::gpu::{DeviceModel, Executor};
 use lbm_refinement::lattice::{Bgk, VelocitySet};
 use lbm_refinement::sparse::{Box3, Layout};
@@ -50,6 +50,8 @@ pub struct EngineOpts {
     /// Accumulate-path override (`None` keeps the engine default:
     /// staged iff more than one thread).
     pub staged: Option<bool>,
+    /// Periodic health checks (`None`: no checks, the historical default).
+    pub health: Option<HealthGuard>,
 }
 
 /// Builds an engine over the seeded geometry with a deterministic,
@@ -79,6 +81,9 @@ pub fn seeded_engine_with<V: VelocitySet>(
     }
     if let Some(s) = opts.staged {
         b = b.staged_accumulate(s);
+    }
+    if let Some(g) = opts.health {
+        b = b.health(g);
     }
     let mut eng = b.build(Executor::sequential(DeviceModel::a100_40gb()));
     eng.grid.init_equilibrium(

@@ -22,8 +22,9 @@ fn cavity_two_level_matches_ghia_loosely() {
     });
     let mut eng = cavity.engine(Variant::FusedAll, Executor::new(DeviceModel::a100_40gb()));
     let transit = cavity.transit_coarse_steps();
-    let steps = diagnostics::run_to_steady(&mut eng, transit, 5e-6, 80 * transit);
-    assert!(steps > 0);
+    let out = diagnostics::run_to_steady(&mut eng, transit, 5e-6, 80 * transit);
+    assert!(out.steps > 0);
+    assert!(!out.diverged, "cavity run diverged at step {}", out.steps);
     assert!(diagnostics::is_finite(&eng.grid));
     let (u_err, v_err) = cavity.validate(&eng);
     assert!(
